@@ -1,0 +1,272 @@
+// Benchmark harness: one testing.B benchmark per paper table/figure
+// (regenerating the artifact at reduced, shape-preserving scale) plus
+// micro-benchmarks for the hot structures of the model.
+//
+// Regenerate everything at full scale with:  go run ./cmd/experiments
+package hypertrio_test
+
+import (
+	"fmt"
+	"testing"
+
+	"hypertrio"
+	"hypertrio/internal/experiments"
+	"hypertrio/internal/iommu"
+	"hypertrio/internal/mem"
+	"hypertrio/internal/sim"
+	"hypertrio/internal/tlb"
+	"hypertrio/internal/trace"
+	"hypertrio/internal/workload"
+)
+
+// benchExperiment reruns one registered experiment per iteration.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := experiments.Lookup(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	opts := experiments.Options{Seed: 42, Quick: true}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tbl, err := e.Run(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tbl.Rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// One benchmark per paper artifact (DESIGN.md §4 maps IDs to the paper).
+
+func BenchmarkTable2(b *testing.B)        { benchExperiment(b, "table2") }
+func BenchmarkTable3(b *testing.B)        { benchExperiment(b, "table3") }
+func BenchmarkFigure4(b *testing.B)       { benchExperiment(b, "fig4") }
+func BenchmarkFigure5(b *testing.B)       { benchExperiment(b, "fig5") }
+func BenchmarkFigure8a(b *testing.B)      { benchExperiment(b, "fig8a") }
+func BenchmarkFigure8b(b *testing.B)      { benchExperiment(b, "fig8b") }
+func BenchmarkFigure9(b *testing.B)       { benchExperiment(b, "fig9") }
+func BenchmarkFigure10(b *testing.B)      { benchExperiment(b, "fig10") }
+func BenchmarkFigure11a(b *testing.B)     { benchExperiment(b, "fig11a") }
+func BenchmarkFigure11b(b *testing.B)     { benchExperiment(b, "fig11b") }
+func BenchmarkFigure11c(b *testing.B)     { benchExperiment(b, "fig11c") }
+func BenchmarkFigure12a(b *testing.B)     { benchExperiment(b, "fig12a") }
+func BenchmarkFigure12b(b *testing.B)     { benchExperiment(b, "fig12b") }
+func BenchmarkFigure12c(b *testing.B)     { benchExperiment(b, "fig12c") }
+func BenchmarkExtPartitions(b *testing.B) { benchExperiment(b, "ext-partitions") }
+func BenchmarkExtWalkers(b *testing.B)    { benchExperiment(b, "ext-walkers") }
+func BenchmarkExtFiveLevel(b *testing.B)  { benchExperiment(b, "ext-5level") }
+func BenchmarkExtIsolation(b *testing.B)  { benchExperiment(b, "ext-isolation") }
+
+// BenchmarkEndToEnd measures one full simulation (trace replay including
+// page-table construction) for both designs at a hyper-tenant count,
+// reporting achieved bandwidth as a custom metric.
+func BenchmarkEndToEnd(b *testing.B) {
+	for _, design := range []string{"base", "hypertrio"} {
+		design := design
+		b.Run(design, func(b *testing.B) {
+			tr, err := hypertrio.ConstructTrace(hypertrio.TraceConfig{
+				Benchmark:  hypertrio.Websearch,
+				Tenants:    128,
+				Interleave: hypertrio.RR1,
+				Seed:       42,
+				Scale:      0.002,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg := hypertrio.BaseConfig()
+			if design == "hypertrio" {
+				cfg = hypertrio.HyperTRIOConfig()
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var last hypertrio.Result
+			for i := 0; i < b.N; i++ {
+				last, err = hypertrio.Run(cfg, tr)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(last.AchievedGbps, "modelGb/s")
+			b.ReportMetric(float64(last.Packets)*float64(b.N)/b.Elapsed().Seconds(), "pkts/s")
+		})
+	}
+}
+
+// --- micro-benchmarks -------------------------------------------------
+
+func BenchmarkEngineScheduleFire(b *testing.B) {
+	e := sim.NewEngine()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(sim.Duration(i%64)*sim.Nanosecond, func(*sim.Engine, sim.Time) {})
+		if i%64 == 63 {
+			e.Run()
+		}
+	}
+	e.Run()
+}
+
+func BenchmarkNestedWalk(b *testing.B) {
+	host := mem.NewSpace("host", 0x1_0000_0000, 0)
+	nt, err := mem.NewNestedTable("t", 0x40000000, host)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, _, err := nt.MapIOVA(0xbbe00000, mem.HugePageShift); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := nt.Walk(0xbbe00000 + uint64(i)%mem.HugePageSize); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDevTLB(b *testing.B) {
+	for _, mode := range []struct {
+		name  string
+		index tlb.IndexMode
+	}{{"by-address", tlb.ByAddress}, {"partitioned", tlb.BySID}} {
+		b.Run(mode.name, func(b *testing.B) {
+			c := tlb.New(tlb.Config{Name: "devtlb", Sets: 8, Ways: 8, Policy: tlb.LFU, Index: mode.index})
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				key := tlb.Key{SID: uint16(i % 64), Tag: uint64(i % 8)}
+				if _, ok := c.Lookup(key); !ok {
+					c.Insert(tlb.Entry{Key: key, Value: uint64(i)})
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkIOMMUTranslate(b *testing.B) {
+	host := mem.NewSpace("host", 0x1_0000_0000, 0)
+	ct := mem.NewContextTable()
+	tenants := map[mem.SID]*mem.NestedTable{}
+	var spaces []*workload.AddressSpace
+	for i := 1; i <= 16; i++ {
+		as, err := workload.BuildAddressSpace(workload.ProfileFor(workload.Websearch), mem.SID(i), host, ct)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tenants[mem.SID(i)] = as.Nested
+		spaces = append(spaces, as)
+	}
+	u := iommu.New(iommu.Config{
+		ContextCache: iommu.DefaultContextCache(),
+		L2PWC:        tlb.Config{Name: "l2", Sets: 32, Ways: 16, Policy: tlb.LFU},
+		L3PWC:        tlb.Config{Name: "l3", Sets: 64, Ways: 16, Policy: tlb.LFU},
+	}, ct, tenants)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		as := spaces[i%len(spaces)]
+		iova := as.DataPages[i%len(as.DataPages)]
+		if _, err := u.Translate(as.SID, iova, mem.HugePageShift, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTraceConstruct(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr, err := trace.Construct(trace.Config{
+			Benchmark: workload.Iperf3, Tenants: 64,
+			Interleave: trace.RR1, Seed: int64(i), Scale: 0.002,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tr.Packets) == 0 {
+			b.Fatal("empty trace")
+		}
+	}
+}
+
+func BenchmarkGeneratorNext(b *testing.B) {
+	g := workload.NewGenerator(workload.ProfileFor(workload.Websearch), 1, 42, 1.0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok := g.Next(); !ok {
+			g = workload.NewGenerator(workload.ProfileFor(workload.Websearch), 1, int64(i), 1.0)
+		}
+	}
+}
+
+// BenchmarkAblation quantifies each HyperTRIO mechanism separately at a
+// fixed hyper-tenant point (the DESIGN.md ablation: partitioning alone,
+// +PTB, +prefetch).
+func BenchmarkAblation(b *testing.B) {
+	tr, err := hypertrio.ConstructTrace(hypertrio.TraceConfig{
+		Benchmark:  hypertrio.Websearch,
+		Tenants:    128,
+		Interleave: hypertrio.RR1,
+		Seed:       42,
+		Scale:      0.002,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	configs := []struct {
+		name string
+		cfg  func() hypertrio.Config
+	}{
+		{"base", hypertrio.BaseConfig},
+		{"partition-only", func() hypertrio.Config {
+			c := hypertrio.HyperTRIOConfig()
+			c.PTBEntries = 1
+			c.Prefetch = nil
+			return c
+		}},
+		{"partition+ptb", func() hypertrio.Config {
+			c := hypertrio.HyperTRIOConfig()
+			c.Prefetch = nil
+			return c
+		}},
+		{"full", hypertrio.HyperTRIOConfig},
+	}
+	for _, cc := range configs {
+		cc := cc
+		b.Run(cc.name, func(b *testing.B) {
+			var last hypertrio.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				last, err = hypertrio.Run(cc.cfg(), tr)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(last.AchievedGbps, "modelGb/s")
+		})
+	}
+}
+
+// Example-style sanity output for go test -bench=. -v runs.
+func ExampleRun() {
+	tr, err := hypertrio.ConstructTrace(hypertrio.TraceConfig{
+		Benchmark:  hypertrio.Iperf3,
+		Tenants:    1,
+		Interleave: hypertrio.RR1,
+		Seed:       1,
+		Scale:      0.02,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	res, err := hypertrio.Run(hypertrio.HyperTRIOConfig(), tr)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(res.Utilization > 0.9)
+	// Output: true
+}

@@ -1,0 +1,39 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSubset(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(dir, "table2,fig8a", true, 42); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"table2.txt", "table2.csv", "fig8a.txt", "fig8a.csv", "INDEX.txt"} {
+		if _, err := os.Stat(filepath.Join(dir, want)); err != nil {
+			t.Errorf("missing %s: %v", want, err)
+		}
+	}
+	idx, err := os.ReadFile(filepath.Join(dir, "INDEX.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(idx), "table2") || !strings.Contains(string(idx), "fig8a") {
+		t.Fatalf("index incomplete:\n%s", idx)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run(t.TempDir(), "fig99", true, 1); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunUnwritableDir(t *testing.T) {
+	if err := run("/proc/definitely/not/writable", "table2", true, 1); err == nil {
+		t.Fatal("unwritable dir accepted")
+	}
+}

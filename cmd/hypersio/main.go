@@ -1,0 +1,151 @@
+// Command hypersio runs one HyperSIO simulation: it constructs a
+// hyper-tenant trace for a chosen benchmark, tenant count and
+// interleaving, replays it against a Base, HyperTRIO or custom
+// configuration, and prints the bandwidth report.
+//
+// Usage examples:
+//
+//	hypersio -benchmark websearch -tenants 1024 -interleave RR1 -design hypertrio
+//	hypersio -benchmark iperf3 -tenants 64 -design base -devtlb-entries 1024
+//	hypersio -benchmark mediastream -tenants 128 -design hypertrio -ptb 8 -no-prefetch
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hypertrio"
+	"hypertrio/internal/stats"
+	"hypertrio/internal/tlb"
+	"hypertrio/internal/trace"
+)
+
+func main() {
+	var (
+		benchmark  = flag.String("benchmark", "iperf3", "workload: iperf3, mediastream, websearch")
+		tenants    = flag.Int("tenants", 64, "number of concurrent tenants")
+		interleave = flag.String("interleave", "RR1", "inter-tenant interleaving: RR1, RR4, RAND1, RR<k>, RAND<k>")
+		design     = flag.String("design", "hypertrio", "hardware design: base or hypertrio")
+		seed       = flag.Int64("seed", 42, "trace construction seed")
+		scale      = flag.Float64("scale", 0.01, "trace scale in (0,1]; 1.0 is paper scale (~70M requests at 1024 tenants)")
+		traceFile  = flag.String("trace", "", "replay a saved .hsio trace instead of constructing one")
+
+		linkGbps   = flag.Float64("link", 200, "I/O link bandwidth in Gb/s")
+		ptb        = flag.Int("ptb", 0, "override PTB entries (0 = design default)")
+		devtlbSize = flag.Int("devtlb-entries", 0, "override DevTLB entries, 8-way (0 = design default)")
+		policy     = flag.String("policy", "", "override DevTLB replacement policy: lru, lfu, fifo, rand, oracle")
+		noPrefetch = flag.Bool("no-prefetch", false, "disable the Prefetch Unit")
+		serial     = flag.Bool("serial", false, "serialize a packet's translations (legacy device)")
+		verbose    = flag.Bool("v", false, "print per-structure statistics")
+	)
+	flag.Parse()
+
+	if err := run(*benchmark, *interleave, *design, *policy, *traceFile, *tenants, *seed, *scale,
+		*linkGbps, *ptb, *devtlbSize, *noPrefetch, *serial, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "hypersio:", err)
+		os.Exit(1)
+	}
+}
+
+func run(benchmark, interleave, design, policy, traceFile string, tenants int, seed int64,
+	scale, linkGbps float64, ptb, devtlbSize int, noPrefetch, serial, verbose bool) error {
+	kind, err := hypertrio.ParseBenchmark(benchmark)
+	if err != nil {
+		return err
+	}
+	iv, err := hypertrio.ParseInterleave(interleave)
+	if err != nil {
+		return err
+	}
+	var cfg hypertrio.Config
+	switch design {
+	case "base":
+		cfg = hypertrio.BaseConfig()
+	case "hypertrio":
+		cfg = hypertrio.HyperTRIOConfig()
+	default:
+		return fmt.Errorf("unknown design %q (want base or hypertrio)", design)
+	}
+	cfg.Params.LinkGbps = linkGbps
+	if ptb > 0 {
+		cfg.PTBEntries = ptb
+	}
+	if devtlbSize > 0 {
+		if devtlbSize%cfg.DevTLB.Ways != 0 {
+			return fmt.Errorf("devtlb-entries %d not divisible by %d ways", devtlbSize, cfg.DevTLB.Ways)
+		}
+		cfg.DevTLB.Sets = devtlbSize / cfg.DevTLB.Ways
+	}
+	if policy != "" {
+		p, err := tlb.ParsePolicy(policy)
+		if err != nil {
+			return err
+		}
+		cfg.DevTLB.Policy = p
+	}
+	if noPrefetch {
+		cfg.Prefetch = nil
+	}
+	cfg.SerialRequests = serial
+
+	var tr *hypertrio.Trace
+	if traceFile != "" {
+		f, err := os.Open(traceFile)
+		if err != nil {
+			return err
+		}
+		tr, err = trace.Read(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("reading %s: %w", traceFile, err)
+		}
+		fmt.Printf("replaying %s: %s trace, %d tenants, %v interleave\n",
+			traceFile, tr.Benchmark, tr.Tenants, tr.Interleave)
+	} else {
+		fmt.Printf("constructing %s trace: %d tenants, %v interleave, scale %g...\n",
+			kind, tenants, iv, scale)
+		tr, err = hypertrio.ConstructTrace(hypertrio.TraceConfig{
+			Benchmark: kind, Tenants: tenants, Interleave: iv, Seed: seed, Scale: scale,
+		})
+		if err != nil {
+			return err
+		}
+	}
+	fmt.Printf("trace: %d packets, %d translation requests (min/max per-tenant budget %s/%s)\n",
+		len(tr.Packets), tr.Requests(),
+		stats.Count(uint64(tr.MinTenantBudget())), stats.Count(uint64(tr.MaxTenantBudget())))
+
+	res, err := hypertrio.Run(cfg, tr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\n%s design: %s\n", design, res)
+	fmt.Printf("  elapsed (simulated): %v\n", res.Elapsed)
+	fmt.Printf("  drops: %d (%.2f%% of arrival slots)\n", res.Drops, res.DropRate()*100)
+	if !cfg.TranslationOff {
+		fmt.Printf("  avg chipset translation latency: %v\n", res.AvgMissLatency)
+		fmt.Printf("  requests: %s total, %.1f%% DevTLB, %.1f%% prefetch buffer\n",
+			stats.Count(res.Requests),
+			pct(res.DevTLBServed, res.Requests), pct(res.PrefetchServed, res.Requests))
+	}
+	if verbose {
+		fmt.Printf("\nstructures:\n")
+		fmt.Printf("  DevTLB:        %+v\n", res.DevTLB)
+		fmt.Printf("  PTB:           %+v\n", res.PTB)
+		fmt.Printf("  PrefetchUnit:  %+v\n", res.Prefetch)
+		fmt.Printf("  IOMMU:         translations=%d walks=%d memAccesses=%d\n",
+			res.IOMMU.Translations, res.IOMMU.Walks, res.IOMMU.MemAccesses)
+		fmt.Printf("  ContextCache:  %+v\n", res.IOMMU.ContextCache)
+		fmt.Printf("  L2 PWC:        %+v\n", res.IOMMU.L2PWC)
+		fmt.Printf("  L3 PWC:        %+v\n", res.IOMMU.L3PWC)
+	}
+	return nil
+}
+
+func pct(num, den uint64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den) * 100
+}

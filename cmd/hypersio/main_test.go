@@ -1,0 +1,93 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hypertrio"
+	"hypertrio/internal/trace"
+)
+
+func buildTrace() (*hypertrio.Trace, error) {
+	return hypertrio.ConstructTrace(hypertrio.TraceConfig{
+		Benchmark:  hypertrio.Iperf3,
+		Tenants:    4,
+		Interleave: hypertrio.RR1,
+		Seed:       1,
+		Scale:      0.002,
+	})
+}
+
+func writeTrace(w io.Writer, tr *hypertrio.Trace) error { return trace.Write(w, tr) }
+
+func TestRunBasic(t *testing.T) {
+	if err := run("iperf3", "RR1", "hypertrio", "", "", 8, 1, 0.002, 200, 0, 0, false, false, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunOverrides(t *testing.T) {
+	// Custom PTB, DevTLB size, policy, no prefetch, serial.
+	if err := run("websearch", "RR4", "base", "lru", "", 4, 1, 0.002, 100, 8, 1024, true, true, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func() error
+	}{
+		{"bad benchmark", func() error {
+			return run("nope", "RR1", "base", "", "", 4, 1, 0.002, 200, 0, 0, false, false, false)
+		}},
+		{"bad interleave", func() error {
+			return run("iperf3", "XX", "base", "", "", 4, 1, 0.002, 200, 0, 0, false, false, false)
+		}},
+		{"bad design", func() error {
+			return run("iperf3", "RR1", "fancy", "", "", 4, 1, 0.002, 200, 0, 0, false, false, false)
+		}},
+		{"bad policy", func() error {
+			return run("iperf3", "RR1", "base", "bogus", "", 4, 1, 0.002, 200, 0, 0, false, false, false)
+		}},
+		{"indivisible devtlb", func() error {
+			return run("iperf3", "RR1", "base", "", "", 4, 1, 0.002, 200, 0, 100, false, false, false)
+		}},
+		{"missing trace file", func() error {
+			return run("iperf3", "RR1", "base", "", "/nonexistent.hsio", 4, 1, 0.002, 200, 0, 0, false, false, false)
+		}},
+	}
+	for _, c := range cases {
+		if err := c.fn(); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestRunFromTraceFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.hsio")
+	// Reuse tracegen's writer via the trace package indirectly: simplest
+	// is to construct and serialize here.
+	if err := writeTestTrace(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("iperf3", "RR1", "hypertrio", "", path, 0, 0, 0.5, 200, 0, 0, false, false, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func writeTestTrace(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr, err := buildTrace()
+	if err != nil {
+		return err
+	}
+	return writeTrace(f, tr)
+}

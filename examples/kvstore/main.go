@@ -1,0 +1,64 @@
+// Key-value store: the paper's introduction motivates hyper-tenant I/O
+// with memcached-style traffic — most keys under 60 B, values under
+// 1000 B — which leaves a 200 Gb/s device far less time per packet than
+// full-size Ethernet frames. This example defines a custom workload
+// profile for such a store (small packets, a compact but irregular
+// buffer set) and checks whether Base and HyperTRIO can keep up.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hypertrio"
+)
+
+func main() {
+	// A key-value responder: values fit in a few hundred bytes, buffers
+	// cycle quickly, access is request-driven rather than streaming.
+	kv := hypertrio.Profile{
+		Kind:             hypertrio.Websearch, // closest base kind, for labeling
+		DataPages:        24,
+		Streams:          20,
+		BackgroundChance: 96, // request-driven: frequent buffer switches
+		RunLength:        200,
+		InitPages:        32,
+		InitTouches:      3,
+		JumpChance:       64,
+		MinRequests:      40000,
+		MaxRequests:      90000,
+	}
+
+	for _, tenants := range []int{16, 128, 512} {
+		tr, err := hypertrio.ConstructTrace(hypertrio.TraceConfig{
+			Benchmark:  kv.Kind,
+			Tenants:    tenants,
+			Interleave: hypertrio.RAND1, // independent request arrivals
+			Seed:       7,
+			Scale:      0.01,
+			Profile:    &kv,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, design := range []struct {
+			name string
+			cfg  hypertrio.Config
+		}{
+			{"Base     ", hypertrio.BaseConfig()},
+			{"HyperTRIO", hypertrio.HyperTRIOConfig()},
+		} {
+			cfg := design.cfg
+			// ~520 B on the wire: 60 B key + ~430 B value + headers.
+			cfg.Params.PacketBytes = 520
+			res, err := hypertrio.Run(cfg, tr)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%4d tenants  %s  %7.1f Gb/s (%5.1f%%)  drops %6.2f%%\n",
+				tenants, design.name, res.AchievedGbps, res.Utilization*100, res.DropRate()*100)
+		}
+	}
+	fmt.Println("\nSmall packets shrink the translation budget per packet (~20ns at 200Gb/s),")
+	fmt.Println("so the translation subsystem collapses even earlier than with 1542B frames.")
+}

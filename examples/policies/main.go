@@ -1,0 +1,51 @@
+// Policies: a DevTLB replacement-policy shootout in the spirit of
+// Fig. 11b — LRU, LFU, FIFO, random and the Belady oracle on the Base
+// design, at a tenant count where replacement still matters.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"hypertrio"
+	"hypertrio/internal/tlb"
+)
+
+func main() {
+	tenants := flag.Int("tenants", 16, "tenant count (replacement matters most in the mid-range)")
+	scale := flag.Float64("scale", 0.02, "trace scale")
+	flag.Parse()
+
+	policies := []tlb.PolicyKind{tlb.LRU, tlb.LFU, tlb.FIFO, tlb.Random, tlb.Oracle}
+
+	fmt.Printf("%-12s", "benchmark")
+	for _, p := range policies {
+		fmt.Printf(" %9s", p)
+	}
+	fmt.Println(" (Gb/s, Base design, 64-entry DevTLB)")
+
+	for _, kind := range hypertrio.Benchmarks {
+		tr, err := hypertrio.ConstructTrace(hypertrio.TraceConfig{
+			Benchmark:  kind,
+			Tenants:    *tenants,
+			Interleave: hypertrio.RR1,
+			Seed:       42,
+			Scale:      *scale,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s", kind)
+		for _, p := range policies {
+			cfg := hypertrio.BaseConfig()
+			cfg.DevTLB.Policy = p
+			res, err := hypertrio.Run(cfg, tr)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf(" %9.1f", res.AchievedGbps)
+		}
+		fmt.Println()
+	}
+}

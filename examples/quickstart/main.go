@@ -1,0 +1,42 @@
+// Quickstart: share one 200 Gb/s device between 64 tenants running the
+// websearch workload and compare the conventional (Base) translation
+// design against HyperTRIO.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hypertrio"
+)
+
+func main() {
+	// 1. Construct a hyper-tenant trace: 64 websearch tenants,
+	//    round-robin interleaving, at 1% of the paper's trace length.
+	tr, err := hypertrio.ConstructTrace(hypertrio.TraceConfig{
+		Benchmark:  hypertrio.Websearch,
+		Tenants:    64,
+		Interleave: hypertrio.RR1,
+		Seed:       42,
+		Scale:      0.01,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trace: %d packets from %d tenants\n\n", len(tr.Packets), tr.Tenants)
+
+	// 2. Replay it against both designs.
+	for _, design := range []struct {
+		name string
+		cfg  hypertrio.Config
+	}{
+		{"Base     ", hypertrio.BaseConfig()},
+		{"HyperTRIO", hypertrio.HyperTRIOConfig()},
+	} {
+		res, err := hypertrio.Run(design.cfg, tr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s  %s\n", design.name, res)
+	}
+}

@@ -1,0 +1,57 @@
+// Scaling: reproduce the shape of the paper's headline result (Fig. 10)
+// on a laptop budget — I/O bandwidth versus tenant count for the Base
+// and HyperTRIO designs across all three workloads.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"hypertrio"
+	"hypertrio/internal/stats"
+)
+
+func main() {
+	interleave := flag.String("interleave", "RR1", "inter-tenant interleaving (RR1, RR4, RAND1)")
+	scale := flag.Float64("scale", 0.004, "trace scale")
+	flag.Parse()
+
+	iv, err := hypertrio.ParseInterleave(*interleave)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-12s %8s %12s %14s %9s\n", "benchmark", "tenants", "Base Gb/s", "HyperTRIO Gb/s", "speedup")
+	charts := make(map[hypertrio.Benchmark]*stats.Chart)
+	for _, kind := range hypertrio.Benchmarks {
+		charts[kind] = stats.NewChart(fmt.Sprintf("\n%s (%s interleave)", kind, iv), " Gb/s", "Base     ", "HyperTRIO")
+		for _, tenants := range []int{4, 16, 64, 256} {
+			tr, err := hypertrio.ConstructTrace(hypertrio.TraceConfig{
+				Benchmark:  kind,
+				Tenants:    tenants,
+				Interleave: iv,
+				Seed:       42,
+				Scale:      *scale,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			base, err := hypertrio.Run(hypertrio.BaseConfig(), tr)
+			if err != nil {
+				log.Fatal(err)
+			}
+			hyper, err := hypertrio.Run(hypertrio.HyperTRIOConfig(), tr)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-12s %8d %12.1f %14.1f %8.1fx\n",
+				kind, tenants, base.AchievedGbps, hyper.AchievedGbps,
+				hyper.AchievedGbps/base.AchievedGbps)
+			charts[kind].AddPoint(fmt.Sprintf("%d", tenants), base.AchievedGbps, hyper.AchievedGbps)
+		}
+	}
+	for _, kind := range hypertrio.Benchmarks {
+		fmt.Print(charts[kind])
+	}
+}

@@ -1,0 +1,3 @@
+module hypertrio
+
+go 1.22

@@ -1,0 +1,120 @@
+// Package hypertrio is a Go reproduction of "HyperTRIO: Hyper-Tenant
+// Translation of I/O Addresses" (Lavrov & Wentzlaff, ISCA 2020) together
+// with HyperSIO, the hyper-tenant I/O simulator the paper built to
+// evaluate it.
+//
+// The package exposes the full experiment pipeline:
+//
+//  1. Pick a workload (Iperf3, Mediastream, Websearch — calibrated to the
+//     paper's §IV-D characterization) and construct a hyper-tenant trace
+//     with ConstructTrace, choosing tenant count and inter-tenant
+//     interleaving (RR1, RR4, RAND1).
+//  2. Pick a hardware configuration: BaseConfig (conventional design) or
+//     HyperTRIOConfig (partitioned DevTLB, 32-entry Pending Translation
+//     Buffer, translation prefetching — Table IV), or build a custom one.
+//  3. Run the trace-driven performance model with Run and inspect the
+//     achieved bandwidth, drop rates and per-structure statistics in the
+//     Result.
+//
+// Minimal example:
+//
+//	tr, err := hypertrio.ConstructTrace(hypertrio.TraceConfig{
+//		Benchmark:  hypertrio.Websearch,
+//		Tenants:    1024,
+//		Interleave: hypertrio.RR1,
+//		Seed:       42,
+//		Scale:      0.01,
+//	})
+//	if err != nil { ... }
+//	res, err := hypertrio.Run(hypertrio.HyperTRIOConfig(), tr)
+//	fmt.Println(res) // e.g. "198.40 Gb/s (99.2% of link), ..."
+package hypertrio
+
+import (
+	"hypertrio/internal/core"
+	"hypertrio/internal/trace"
+	"hypertrio/internal/workload"
+)
+
+// Benchmark identifies one of the paper's evaluated workloads.
+type Benchmark = workload.Kind
+
+// The three I/O-intensive benchmarks of §V-A.
+const (
+	Iperf3      = workload.Iperf3
+	Mediastream = workload.Mediastream
+	Websearch   = workload.Websearch
+)
+
+// Benchmarks lists all workloads in presentation order.
+var Benchmarks = workload.Kinds
+
+// ParseBenchmark converts a name ("iperf3", "mediastream", "websearch").
+func ParseBenchmark(s string) (Benchmark, error) { return workload.ParseKind(s) }
+
+// Profile is a per-tenant workload calibration. The built-in benchmarks
+// ship calibrated profiles (ProfileFor); pass a custom Profile through
+// TraceConfig.Profile to model other workloads (e.g. a key-value store
+// with small values — the paper's introductory motivation).
+type Profile = workload.Profile
+
+// ProfileFor returns the calibrated profile for a built-in benchmark.
+func ProfileFor(b Benchmark) Profile { return workload.ProfileFor(b) }
+
+// Interleave is an inter-tenant arbitration scheme with burst length.
+type Interleave = trace.Interleave
+
+// The paper's three interleavings (§IV-B).
+var (
+	RR1   = trace.RR1
+	RR4   = trace.RR4
+	RAND1 = trace.RAND1
+)
+
+// ParseInterleave converts "RR1", "RR4", "RAND1", ...
+func ParseInterleave(s string) (Interleave, error) { return trace.ParseInterleave(s) }
+
+// TraceConfig drives hyper-tenant trace construction (HyperSIO's Trace
+// Constructor, §IV-B).
+type TraceConfig = trace.Config
+
+// Trace is a constructed hyper-tenant translation trace.
+type Trace = trace.Trace
+
+// ConstructTrace builds a hyper-tenant trace: per-tenant synthetic
+// workload streams (calibrated to Table III request budgets at
+// Scale == 1.0) interleaved by the chosen scheme, truncated when the
+// first tenant's log is exhausted.
+func ConstructTrace(cfg TraceConfig) (*Trace, error) { return trace.Construct(cfg) }
+
+// Params are the performance-model latencies and link parameters
+// (Table II).
+type Params = core.Params
+
+// DefaultParams returns Table II verbatim: 450 ns one-way PCIe, 50 ns
+// DRAM, 2 ns TLB hit, 1542 B packets, 200 Gb/s link.
+func DefaultParams() Params { return core.DefaultParams() }
+
+// Config is a full system configuration under test.
+type Config = core.Config
+
+// BaseConfig returns the paper's Base design (Table IV).
+func BaseConfig() Config { return core.BaseConfig() }
+
+// HyperTRIOConfig returns the paper's full HyperTRIO design (Table IV).
+func HyperTRIOConfig() Config { return core.HyperTRIOConfig() }
+
+// Result reports a simulation run's bandwidth and per-structure
+// statistics.
+type Result = core.Result
+
+// Run replays the trace against the configuration and returns the
+// metrics. Each call builds fresh per-tenant page tables, so runs are
+// independent and deterministic.
+func Run(cfg Config, tr *Trace) (Result, error) {
+	sys, err := core.NewSystem(cfg, tr)
+	if err != nil {
+		return Result{}, err
+	}
+	return sys.Run()
+}

@@ -1,0 +1,54 @@
+package hypertrio_test
+
+import (
+	"testing"
+
+	"hypertrio"
+)
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	tr, err := hypertrio.ConstructTrace(hypertrio.TraceConfig{
+		Benchmark:  hypertrio.Websearch,
+		Tenants:    32,
+		Interleave: hypertrio.RR1,
+		Seed:       42,
+		Scale:      0.005,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := hypertrio.Run(hypertrio.BaseConfig(), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hyper, err := hypertrio.Run(hypertrio.HyperTRIOConfig(), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hyper.AchievedGbps <= base.AchievedGbps {
+		t.Fatalf("HyperTRIO (%.1f) should beat Base (%.1f) at 32 tenants",
+			hyper.AchievedGbps, base.AchievedGbps)
+	}
+	if base.String() == "" || hyper.String() == "" {
+		t.Fatal("Result.String empty")
+	}
+}
+
+func TestPublicParsers(t *testing.T) {
+	if b, err := hypertrio.ParseBenchmark("mediastream"); err != nil || b != hypertrio.Mediastream {
+		t.Fatalf("ParseBenchmark: %v %v", b, err)
+	}
+	if iv, err := hypertrio.ParseInterleave("RR4"); err != nil || iv != hypertrio.RR4 {
+		t.Fatalf("ParseInterleave: %v %v", iv, err)
+	}
+	if len(hypertrio.Benchmarks) != 3 {
+		t.Fatalf("Benchmarks has %d entries", len(hypertrio.Benchmarks))
+	}
+}
+
+func TestDefaultParamsExposed(t *testing.T) {
+	p := hypertrio.DefaultParams()
+	if p.LinkGbps != 200 || p.PacketBytes != 1542 {
+		t.Fatalf("unexpected defaults: %+v", p)
+	}
+}

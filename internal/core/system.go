@@ -1,0 +1,487 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"hypertrio/internal/device"
+	"hypertrio/internal/iommu"
+	"hypertrio/internal/mem"
+	"hypertrio/internal/sim"
+	"hypertrio/internal/tlb"
+	"hypertrio/internal/trace"
+	"hypertrio/internal/workload"
+)
+
+// System is one instantiated simulation: a configuration bound to a
+// hyper-tenant trace with per-tenant page tables built and ready to walk.
+type System struct {
+	cfg Config
+	tr  *trace.Trace
+
+	engine *sim.Engine
+	dt     sim.Duration // packet inter-arrival gap
+
+	host    *mem.Space
+	ctx     *mem.ContextTable
+	spaces  map[mem.SID]*workload.AddressSpace
+	devtlb  *tlb.Cache // nil when disabled
+	pu      *device.PrefetchUnit
+	ptb     *device.PTB
+	chipset *iommu.IOMMU
+
+	cursor       int
+	unmapApplied bool
+	firstAttempt sim.Time // when the packet at cursor first hit the link
+	haveAttempt  bool
+
+	// Walker pool (Config.IOMMUWalkers > 0): translations queue for a
+	// free walker once they reach the chipset.
+	walkersBusy int
+	walkQueue   []func(*sim.Engine)
+
+	// Metrics.
+	packets        uint64
+	drops          uint64
+	bytes          uint64
+	requests       uint64
+	devtlbServed   uint64
+	prefetchServed uint64
+	missLatencySum sim.Duration
+	missCount      uint64
+	lastCompletion sim.Time
+	tenantLat      map[mem.SID]*tenantLatency
+}
+
+// tenantLatency aggregates one tenant's packet service times (first
+// arrival attempt to completion), the basis of the isolation metrics.
+type tenantLatency struct {
+	sum   sim.Duration
+	count uint64
+	worst sim.Duration
+}
+
+// NewSystem builds per-tenant page tables for every SID in the trace and
+// instantiates the configured hardware.
+func NewSystem(cfg Config, tr *trace.Trace) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if tr == nil || len(tr.Packets) == 0 {
+		return nil, fmt.Errorf("core: empty trace")
+	}
+	s := &System{
+		cfg:       cfg,
+		tr:        tr,
+		engine:    sim.NewEngine(),
+		dt:        cfg.Params.Interarrival(),
+		host:      mem.NewSpace("host", 0x1_0000_0000, 0),
+		ctx:       mem.NewContextTable(),
+		spaces:    make(map[mem.SID]*workload.AddressSpace, tr.Tenants),
+		tenantLat: make(map[mem.SID]*tenantLatency, tr.Tenants),
+	}
+	profile := tr.Profile
+	if err := profile.Validate(); err != nil {
+		// Traces built by older tools may lack the embedded profile;
+		// fall back to the benchmark's calibration.
+		profile = workload.ProfileFor(tr.Benchmark)
+	}
+	levels := cfg.PageTableLevels
+	if levels == 0 {
+		levels = mem.Levels
+	}
+	tenants := make(map[mem.SID]*mem.NestedTable, tr.Tenants)
+	for i := 1; i <= tr.Tenants; i++ {
+		sid := mem.SID(i)
+		as, err := workload.BuildAddressSpaceLevels(profile, sid, s.host, s.ctx, levels)
+		if err != nil {
+			return nil, fmt.Errorf("core: building tenant %d: %w", i, err)
+		}
+		s.spaces[sid] = as
+		tenants[sid] = as.Nested
+	}
+	if !cfg.TranslationOff {
+		if cfg.DevTLB.Sets > 0 {
+			s.devtlb = tlb.New(cfg.DevTLB)
+			if cfg.DevTLB.Policy == tlb.Oracle {
+				s.devtlb.SetFuture(tlb.NewFuture(flattenKeys(tr)))
+			}
+		}
+		if cfg.Prefetch != nil {
+			s.pu = device.NewPrefetchUnit(*cfg.Prefetch)
+		}
+		s.ptb = device.NewPTB(cfg.PTBEntries)
+		s.chipset = iommu.New(cfg.IOMMU, s.ctx, tenants)
+	}
+	return s, nil
+}
+
+// flattenKeys produces the DevTLB's ideal lookup sequence for Belady
+// replacement: every packet is eventually accepted exactly once, so the
+// DevTLB observes the flattened trace in order.
+func flattenKeys(tr *trace.Trace) []tlb.Key {
+	keys := make([]tlb.Key, 0, len(tr.Packets)*workload.RequestsPerPacket)
+	for _, p := range tr.Packets {
+		keys = append(keys,
+			iommu.PageKey(p.SID, p.Ring, workload.PageShiftOf(p.Ring)),
+			iommu.PageKey(p.SID, p.Data, workload.PageShiftOf(p.Data)),
+			iommu.PageKey(p.SID, p.Mailbox, workload.PageShiftOf(p.Mailbox)),
+		)
+	}
+	return keys
+}
+
+// Run replays the whole trace and returns the metrics. It may be called
+// once per System.
+func (s *System) Run() (Result, error) {
+	if s.engine.Fired() > 0 {
+		return Result{}, fmt.Errorf("core: System.Run called twice")
+	}
+	// The first slot lands one inter-arrival gap in, so that N packets
+	// occupy N link slots and measured bandwidth can never exceed the
+	// offered rate by a fencepost.
+	s.engine.Schedule(s.dt, s.arrival)
+	s.engine.Run()
+	if s.cursor != len(s.tr.Packets) {
+		return Result{}, fmt.Errorf("core: simulation drained with %d of %d packets unprocessed",
+			len(s.tr.Packets)-s.cursor, len(s.tr.Packets))
+	}
+	return s.result(), nil
+}
+
+func (s *System) result() Result {
+	r := Result{
+		Packets:        s.packets,
+		Drops:          s.drops,
+		Bytes:          s.bytes,
+		Elapsed:        sim.Duration(s.lastCompletion),
+		Requests:       s.requests,
+		DevTLBServed:   s.devtlbServed,
+		PrefetchServed: s.prefetchServed,
+	}
+	if s.lastCompletion > 0 {
+		r.AchievedGbps = float64(s.bytes*8) / sim.Duration(s.lastCompletion).Seconds() / 1e9
+		r.Utilization = r.AchievedGbps / s.cfg.Params.LinkGbps
+	}
+	if s.missCount > 0 {
+		r.AvgMissLatency = s.missLatencySum / sim.Duration(s.missCount)
+	}
+	if len(s.tenantLat) > 0 {
+		// Deterministic order: floating-point accumulation must not
+		// depend on map iteration, or identical runs diverge bitwise.
+		sids := make([]int, 0, len(s.tenantLat))
+		for sid := range s.tenantLat {
+			sids = append(sids, int(sid))
+		}
+		sort.Ints(sids)
+		var sum, sumSq float64
+		first := true
+		for _, sid := range sids {
+			tl := s.tenantLat[mem.SID(sid)]
+			if tl.count == 0 {
+				continue
+			}
+			mean := float64(tl.sum) / float64(tl.count)
+			sum += mean
+			sumSq += mean * mean
+			m := sim.Duration(mean)
+			if first || m < r.MinTenantLatency {
+				r.MinTenantLatency = m
+			}
+			if m > r.MaxTenantLatency {
+				r.MaxTenantLatency = m
+			}
+			if tl.worst > r.WorstPacket {
+				r.WorstPacket = tl.worst
+			}
+			first = false
+		}
+		if n := float64(len(s.tenantLat)); sumSq > 0 {
+			r.LatencyFairness = sum * sum / (n * sumSq)
+		}
+	}
+	if s.devtlb != nil {
+		r.DevTLB = s.devtlb.Stats()
+	}
+	if s.ptb != nil {
+		r.PTB = s.ptb.Stats()
+	}
+	if s.pu != nil {
+		r.Prefetch = s.pu.Stats()
+	}
+	if s.chipset != nil {
+		r.IOMMU = s.chipset.Stats()
+	}
+	return r
+}
+
+// request is one translation of a packet, resolved against the canonical
+// layout.
+type request struct {
+	iova  uint64
+	shift uint8
+}
+
+func packetRequests(p workload.Packet) [workload.RequestsPerPacket]request {
+	return [workload.RequestsPerPacket]request{
+		{p.Ring, workload.PageShiftOf(p.Ring)},
+		{p.Data, workload.PageShiftOf(p.Data)},
+		{p.Mailbox, workload.PageShiftOf(p.Mailbox)},
+	}
+}
+
+// arrival models one packet slot on the I/O link.
+func (s *System) arrival(e *sim.Engine, now sim.Time) {
+	if s.cursor >= len(s.tr.Packets) {
+		return // trace consumed; in-flight work drains the engine
+	}
+	pkt := s.tr.Packets[s.cursor]
+	if !s.haveAttempt {
+		s.firstAttempt, s.haveAttempt = now, true
+	}
+
+	// Driver unmaps are tied to the packet's first arrival attempt:
+	// the guest recycled the page whether or not the device drops.
+	if pkt.UnmapIOVA != 0 && !s.unmapApplied {
+		s.invalidate(pkt.SID, pkt.UnmapIOVA, pkt.UnmapShift)
+		s.unmapApplied = true
+	}
+
+	if s.cfg.TranslationOff {
+		s.acceptNative(e, now, pkt)
+		e.Schedule(s.dt, s.arrival)
+		return
+	}
+
+	// The device allocates the packet's PTB context before translating;
+	// without a free entry the packet is dropped and the link slot is
+	// lost (the source retries at the next arrival time, §IV-C).
+	if !s.ptb.Alloc() {
+		s.drops++
+		e.Schedule(s.dt, s.arrival)
+		return
+	}
+	s.cursor++
+	s.unmapApplied = false
+	started := s.firstAttempt
+	s.haveAttempt = false
+	if s.pu != nil {
+		s.pu.Predictor().Observe(pkt.SID)
+	}
+
+	ctx := &packetCtx{}
+	var misses [workload.RequestsPerPacket]request
+	for _, rq := range packetRequests(pkt) {
+		s.requests++
+		key := iommu.PageKey(pkt.SID, rq.iova, rq.shift)
+		if s.devtlb != nil {
+			if _, ok := s.devtlb.Lookup(key); ok {
+				s.devtlbServed++
+				continue
+			}
+		}
+		if s.pu != nil {
+			if _, ok := s.pu.Lookup(key); ok {
+				s.prefetchServed++
+				continue
+			}
+		}
+		misses[ctx.outstanding] = rq
+		ctx.outstanding++
+	}
+
+	if ctx.outstanding == 0 {
+		e.Schedule(s.cfg.Params.TLBHit, func(_ *sim.Engine, done sim.Time) {
+			s.finishPacket(done)
+			s.recordTenantLatency(pkt.SID, done.Sub(started))
+		})
+	} else {
+		ctx.sid, ctx.started = pkt.SID, started
+		if s.cfg.SerialRequests {
+			ctx.queue = append(ctx.queue, misses[:ctx.outstanding]...)
+			s.startMiss(e, pkt.SID, ctx.queue[0], ctx)
+			ctx.queue = ctx.queue[1:]
+		} else {
+			for _, rq := range misses[:ctx.outstanding] {
+				s.startMiss(e, pkt.SID, rq, ctx)
+			}
+		}
+		if s.pu != nil {
+			s.maybePrefetch(e, pkt.SID)
+		}
+	}
+	e.Schedule(s.dt, s.arrival)
+}
+
+func (s *System) acceptNative(e *sim.Engine, now sim.Time, pkt workload.Packet) {
+	s.cursor++
+	s.unmapApplied = false
+	s.haveAttempt = false
+	s.requests += workload.RequestsPerPacket
+	e.Schedule(s.cfg.Params.TLBHit, func(_ *sim.Engine, done sim.Time) {
+		s.finishPacket(done)
+		s.recordTenantLatency(pkt.SID, done.Sub(now))
+	})
+}
+
+func (s *System) finishPacket(now sim.Time) {
+	s.packets++
+	s.bytes += uint64(s.cfg.Params.PacketBytes)
+	if s.ptb != nil && !s.cfg.TranslationOff {
+		s.ptb.Release()
+	}
+	if now > s.lastCompletion {
+		s.lastCompletion = now
+	}
+}
+
+// packetCtx counts a packet's in-flight translations; the packet (and
+// its PTB entry) completes when the counter drains. In serial mode the
+// not-yet-issued translations wait in queue.
+type packetCtx struct {
+	outstanding int
+	queue       []request
+	sid         mem.SID
+	started     sim.Time
+}
+
+// acquireWalker runs task now if a chipset walker is free (or the pool is
+// unlimited), otherwise queues it. The task must call releaseWalker when
+// its memory accesses finish.
+func (s *System) acquireWalker(e *sim.Engine, task func(*sim.Engine)) {
+	if s.cfg.IOMMUWalkers > 0 && s.walkersBusy >= s.cfg.IOMMUWalkers {
+		s.walkQueue = append(s.walkQueue, task)
+		return
+	}
+	s.walkersBusy++
+	task(e)
+}
+
+// releaseWalker frees a walker, immediately handing it to the next queued
+// translation if any.
+func (s *System) releaseWalker(e *sim.Engine) {
+	if len(s.walkQueue) > 0 {
+		next := s.walkQueue[0]
+		s.walkQueue = s.walkQueue[1:]
+		next(e)
+		return
+	}
+	s.walkersBusy--
+}
+
+// startMiss runs one translation through PCIe -> chipset -> PCIe.
+func (s *System) startMiss(e *sim.Engine, sid mem.SID, rq request, ctx *packetCtx) {
+	issued := e.Now()
+	probe := s.cfg.Params.TLBHit
+	e.Schedule(probe+s.cfg.Params.PCIeOneWay, func(e *sim.Engine, _ sim.Time) {
+		s.acquireWalker(e, func(e *sim.Engine) {
+			res, err := s.chipset.Translate(sid, rq.iova, rq.shift, true)
+			if err != nil {
+				panic(fmt.Sprintf("core: translate SID %d iova %#x: %v", sid, rq.iova, err))
+			}
+			lat := sim.Duration(res.MemAccesses) * s.cfg.Params.DRAMLatency
+			if res.IOTLBHit {
+				lat += s.cfg.Params.TLBHit
+			}
+			e.Schedule(lat, func(e *sim.Engine, _ sim.Time) { s.releaseWalker(e) })
+			e.Schedule(lat+s.cfg.Params.PCIeOneWay, func(_ *sim.Engine, done sim.Time) {
+				if s.devtlb != nil {
+					pageMask := uint64(1)<<rq.shift - 1
+					s.devtlb.Insert(tlb.Entry{
+						Key:       iommu.PageKey(sid, rq.iova, rq.shift),
+						Value:     res.HPA &^ pageMask,
+						PageShift: rq.shift,
+					})
+				}
+				s.missLatencySum += done.Sub(issued)
+				s.missCount++
+				ctx.outstanding--
+				if len(ctx.queue) > 0 {
+					next := ctx.queue[0]
+					ctx.queue = ctx.queue[1:]
+					s.startMiss(e, sid, next, ctx)
+				} else if ctx.outstanding == 0 {
+					s.finishPacket(done)
+					s.recordTenantLatency(ctx.sid, done.Sub(ctx.started))
+				}
+			})
+		})
+	})
+}
+
+// maybePrefetch issues a prefetch for the predicted SID, modelling the
+// chipset's IOVA history reader.
+func (s *System) maybePrefetch(e *sim.Engine, current mem.SID) {
+	target, ok := s.pu.ShouldPrefetch(current)
+	if !ok {
+		return
+	}
+	triggered := e.Now()
+	p := s.cfg.Params
+	e.Schedule(p.PCIeOneWay, func(e *sim.Engine, _ sim.Time) {
+		// The IOVA history reader claims one walker: it reads the
+		// per-DID history from memory, then walks the fetched gIOVAs
+		// back to back.
+		s.acquireWalker(e, func(e *sim.Engine) {
+			recent := s.chipset.History().Recent(target, s.pu.Config().Degree)
+			if len(recent) == 0 {
+				s.pu.Abort(target)
+				s.releaseWalker(e)
+				return
+			}
+			total := p.DRAMLatency // history read
+			entries := make([]tlb.Entry, 0, len(recent))
+			for _, h := range recent {
+				res, err := s.chipset.Translate(target, h.IOVA, h.PageShift, false)
+				if err != nil {
+					continue // page was unmapped while the prefetch was in flight
+				}
+				total += sim.Duration(res.MemAccesses) * p.DRAMLatency
+				if res.IOTLBHit {
+					total += p.TLBHit
+				}
+				pageMask := uint64(1)<<h.PageShift - 1
+				entries = append(entries, tlb.Entry{
+					Key:       iommu.PageKey(target, h.IOVA, h.PageShift),
+					Value:     res.HPA &^ pageMask,
+					PageShift: h.PageShift,
+				})
+			}
+			e.Schedule(total, func(e *sim.Engine, _ sim.Time) { s.releaseWalker(e) })
+			e.Schedule(total+p.PCIeOneWay, func(_ *sim.Engine, done sim.Time) {
+				// Report the observed trigger-to-fill latency in requests
+				// so the host can retune the history-length register.
+				latencyRequests := int(float64(done.Sub(triggered)) / float64(s.dt) * workload.RequestsPerPacket)
+				s.pu.Complete(target, entries, latencyRequests)
+			})
+		})
+	})
+}
+
+// recordTenantLatency folds one packet's service time into its tenant's
+// aggregate.
+func (s *System) recordTenantLatency(sid mem.SID, d sim.Duration) {
+	tl := s.tenantLat[sid]
+	if tl == nil {
+		tl = &tenantLatency{}
+		s.tenantLat[sid] = tl
+	}
+	tl.sum += d
+	tl.count++
+	if d > tl.worst {
+		tl.worst = d
+	}
+}
+
+// invalidate broadcasts a driver unmap to every caching structure.
+func (s *System) invalidate(sid mem.SID, iova uint64, shift uint8) {
+	if s.devtlb != nil {
+		s.devtlb.Invalidate(iommu.PageKey(sid, iova, shift))
+	}
+	if s.pu != nil {
+		s.pu.Invalidate(sid, iova, shift)
+	}
+	if s.chipset != nil {
+		s.chipset.Invalidate(sid, iova, shift)
+	}
+}

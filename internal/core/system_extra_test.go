@@ -1,0 +1,186 @@
+package core
+
+import (
+	"testing"
+
+	"hypertrio/internal/sim"
+	"hypertrio/internal/trace"
+	"hypertrio/internal/workload"
+)
+
+func TestSerialRequestsSlower(t *testing.T) {
+	// Serializing a packet's translations (legacy device) must never be
+	// faster than issuing them concurrently.
+	tr := makeTrace(t, workload.Websearch, 32, trace.RR1, 0.004)
+	par := run(t, BaseConfig(), tr)
+	cfg := BaseConfig()
+	cfg.SerialRequests = true
+	ser := run(t, cfg, tr)
+	if ser.AchievedGbps > par.AchievedGbps*1.01 {
+		t.Fatalf("serial (%.1f) faster than concurrent (%.1f)", ser.AchievedGbps, par.AchievedGbps)
+	}
+	if ser.Packets != par.Packets {
+		t.Fatalf("packet counts differ: %d vs %d", ser.Packets, par.Packets)
+	}
+}
+
+func TestUnmapInvalidatesDevTLB(t *testing.T) {
+	tr := makeTrace(t, workload.Websearch, 4, trace.RR1, 0.05)
+	unmaps := 0
+	for _, p := range tr.Packets {
+		if p.UnmapIOVA != 0 {
+			unmaps++
+		}
+	}
+	if unmaps == 0 {
+		t.Skip("trace carries no unmaps at this scale/seed")
+	}
+	r := run(t, HyperTRIOConfig(), tr)
+	if r.DevTLB.Invalidates == 0 {
+		t.Fatalf("trace has %d unmaps but the DevTLB saw no invalidations", unmaps)
+	}
+}
+
+func TestPTBPressureSweep(t *testing.T) {
+	// Bigger PTBs must help monotonically (within noise) at a miss-heavy
+	// operating point: this is the mechanism behind Fig. 12b.
+	tr := makeTrace(t, workload.Iperf3, 128, trace.RR1, 0.002)
+	prev := -1.0
+	for _, size := range []int{1, 4, 16, 64} {
+		cfg := HyperTRIOConfig()
+		cfg.Prefetch = nil
+		cfg.PTBEntries = size
+		r := run(t, cfg, tr)
+		if r.AchievedGbps < prev*0.95 {
+			t.Fatalf("PTB=%d achieved %.1f, less than smaller buffer's %.1f", size, r.AchievedGbps, prev)
+		}
+		prev = r.AchievedGbps
+		if r.PTB.Peak > size {
+			t.Fatalf("PTB peak %d exceeded capacity %d", r.PTB.Peak, size)
+		}
+	}
+}
+
+func TestPartitionedDevTLBIsolatesTenants(t *testing.T) {
+	// With BySID partitioning, DevTLB hit rate in the mid-range (2
+	// tenants per row) must beat the by-address Base, whose identical
+	// guest addresses collide (the Fig. 12a mechanism: utilization
+	// "stays high until multiple devices start using the same
+	// partition").
+	tr := makeTrace(t, workload.Iperf3, 16, trace.RR1, 0.01)
+	base := run(t, BaseConfig(), tr)
+	part := run(t, partitionedConfigForTest(), tr)
+	if part.DevTLB.HitRate() <= base.DevTLB.HitRate() {
+		t.Fatalf("partitioned hit rate %.3f not above base %.3f",
+			part.DevTLB.HitRate(), base.DevTLB.HitRate())
+	}
+}
+
+func partitionedConfigForTest() Config {
+	cfg := HyperTRIOConfig()
+	cfg.PTBEntries = 1
+	cfg.Prefetch = nil
+	return cfg
+}
+
+func TestInterarrivalMatchesLinkRate(t *testing.T) {
+	p := DefaultParams()
+	p.LinkGbps = 10
+	// 1542 B at 10 Gb/s = 1233.6 ns.
+	if got := p.Interarrival(); got != sim.FromNanos(1233.6) {
+		t.Fatalf("interarrival = %v", got)
+	}
+	p.ArrivalGbps = 5
+	if got := p.Interarrival(); got != sim.FromNanos(2467.2) {
+		t.Fatalf("capped interarrival = %v", got)
+	}
+}
+
+func TestElapsedCoversTailLatency(t *testing.T) {
+	// The run's elapsed time must include the last packet's completion,
+	// not just its arrival.
+	tr := makeTrace(t, workload.Iperf3, 2, trace.RR1, 0.001)
+	r := run(t, BaseConfig(), tr)
+	arrivalSpan := sim.Duration(len(tr.Packets)) * DefaultParams().Interarrival()
+	if r.Elapsed < arrivalSpan {
+		t.Fatalf("elapsed %v shorter than the arrival span %v", r.Elapsed, arrivalSpan)
+	}
+}
+
+func TestDropsRetrySamePacketUntilAccepted(t *testing.T) {
+	// Every trace packet is eventually processed exactly once even under
+	// heavy dropping (Base at high tenant count).
+	tr := makeTrace(t, workload.Websearch, 128, trace.RR1, 0.001)
+	r := run(t, BaseConfig(), tr)
+	if r.Packets != uint64(len(tr.Packets)) {
+		t.Fatalf("processed %d of %d packets", r.Packets, len(tr.Packets))
+	}
+	if r.Drops == 0 {
+		t.Fatal("expected drops at this operating point")
+	}
+}
+
+func TestPrefetchDisabledMeansNoPrefetchStats(t *testing.T) {
+	tr := makeTrace(t, workload.Websearch, 16, trace.RR1, 0.002)
+	cfg := HyperTRIOConfig()
+	cfg.Prefetch = nil
+	r := run(t, cfg, tr)
+	if r.Prefetch.Issued != 0 || r.PrefetchServed != 0 {
+		t.Fatalf("prefetch stats non-zero with prefetch disabled: %+v", r.Prefetch)
+	}
+}
+
+func TestHistoryRegisterAdapts(t *testing.T) {
+	// With the adaptive register, sustained prefetching should move the
+	// history length away from its initial value toward observed latency.
+	tr := makeTrace(t, workload.Websearch, 64, trace.RR1, 0.004)
+	r := run(t, HyperTRIOConfig(), tr)
+	if r.Prefetch.Issued == 0 {
+		t.Fatal("no prefetches issued")
+	}
+	if r.Prefetch.Predictor.Predictions == 0 {
+		t.Fatal("predictor never consulted")
+	}
+}
+
+func TestIsolationMetrics(t *testing.T) {
+	tr := makeTrace(t, workload.Iperf3, 16, trace.RR1, 0.01)
+	r := run(t, HyperTRIOConfig(), tr)
+	if r.LatencyFairness <= 0 || r.LatencyFairness > 1.0001 {
+		t.Fatalf("Jain index %v out of (0,1]", r.LatencyFairness)
+	}
+	if r.MinTenantLatency <= 0 || r.MaxTenantLatency < r.MinTenantLatency {
+		t.Fatalf("latency bounds inverted: %v..%v", r.MinTenantLatency, r.MaxTenantLatency)
+	}
+	if r.WorstPacket < r.MaxTenantLatency {
+		t.Fatalf("worst packet %v below max mean %v", r.WorstPacket, r.MaxTenantLatency)
+	}
+}
+
+func TestPartitioningImprovesFairness(t *testing.T) {
+	// 16 iperf3 tenants: partitioned rows isolate tenants, so per-tenant
+	// mean latencies must be at least as uniform as the shared Base
+	// DevTLB where ring slots collide.
+	tr := makeTrace(t, workload.Iperf3, 16, trace.RR1, 0.02)
+	base := run(t, BaseConfig(), tr)
+	part := run(t, partitionedConfigForTest(), tr)
+	if part.LatencyFairness < base.LatencyFairness-0.01 {
+		t.Fatalf("partitioned fairness %.3f below base %.3f",
+			part.LatencyFairness, base.LatencyFairness)
+	}
+}
+
+func TestFiveLevelSlowerThanFour(t *testing.T) {
+	tr := makeTrace(t, workload.Iperf3, 64, trace.RR1, 0.002)
+	cfg4 := BaseConfig()
+	cfg5 := BaseConfig()
+	cfg5.PageTableLevels = 5
+	r4 := run(t, cfg4, tr)
+	r5 := run(t, cfg5, tr)
+	if r5.AchievedGbps > r4.AchievedGbps*1.01 {
+		t.Fatalf("5-level (%.1f) beat 4-level (%.1f)", r5.AchievedGbps, r4.AchievedGbps)
+	}
+	if r5.AvgMissLatency <= r4.AvgMissLatency {
+		t.Fatalf("5-level walk latency %v not above 4-level %v", r5.AvgMissLatency, r4.AvgMissLatency)
+	}
+}

@@ -1,0 +1,122 @@
+package device
+
+import "hypertrio/internal/mem"
+
+// SIDPredictor is the Prefetch Unit's table mapping the currently active
+// Source ID to the SID predicted to be active again soon, plus the
+// host-configured history-length register (§III). Learning happens on
+// tenant switches, so with round-robin arbitration the table converges to
+// the arbiter's successor relation regardless of burst length; with
+// random interleaving its predictions are noise, which is exactly the
+// degradation the paper reports for RAND1.
+type SIDPredictor struct {
+	successor map[mem.SID]mem.SID
+	last      mem.SID
+	haveLast  bool
+
+	// burstEWMA estimates how many consecutive packets one tenant sends,
+	// so the predictor can convert the history length (in requests) into
+	// tenant hops.
+	burstEWMA float64
+	runLen    int
+
+	historyLen int
+
+	predictions uint64
+	unknowns    uint64
+}
+
+// NewSIDPredictor creates a predictor with the given history-length
+// register value (the paper finds 48 requests optimal, §V-D).
+func NewSIDPredictor(historyLen int) *SIDPredictor {
+	if historyLen <= 0 {
+		historyLen = 48
+	}
+	return &SIDPredictor{
+		successor:  make(map[mem.SID]mem.SID),
+		burstEWMA:  1,
+		historyLen: historyLen,
+	}
+}
+
+// HistoryLen returns the configured history length.
+func (p *SIDPredictor) HistoryLen() int { return p.historyLen }
+
+// SetHistoryLen updates the register (the hypervisor reconfigures it when
+// tenants are added or removed).
+func (p *SIDPredictor) SetHistoryLen(n int) {
+	if n > 0 {
+		p.historyLen = n
+	}
+}
+
+// Observe feeds one accepted packet's SID in arrival order.
+func (p *SIDPredictor) Observe(sid mem.SID) {
+	if !p.haveLast {
+		p.last, p.haveLast, p.runLen = sid, true, 1
+		return
+	}
+	if sid == p.last {
+		p.runLen++
+		return
+	}
+	p.successor[p.last] = sid
+	const alpha = 0.125
+	p.burstEWMA = (1-alpha)*p.burstEWMA + alpha*float64(p.runLen)
+	p.last = sid
+	p.runLen = 1
+}
+
+// requestsPerPacket mirrors workload.RequestsPerPacket without importing
+// the workload package: every packet costs three translation requests.
+const requestsPerPacket = 3
+
+// Hops converts the history-length register (a look-ahead expressed in
+// translation requests) into tenant switches: each switch covers one
+// burst of packets, and each packet three requests.
+func (p *SIDPredictor) Hops() int {
+	burst := p.burstEWMA
+	if burst < 1 {
+		burst = 1
+	}
+	hops := int(float64(p.historyLen)/(requestsPerPacket*burst) + 0.5)
+	if hops < 1 {
+		hops = 1
+	}
+	return hops
+}
+
+// Predict chases the successor table Hops() steps from the current SID,
+// returning the SID expected to be active about historyLen requests in
+// the future. ok is false when the chain has a gap (not yet learned).
+func (p *SIDPredictor) Predict(current mem.SID) (mem.SID, bool) {
+	p.predictions++
+	sid := current
+	for i := 0; i < p.Hops(); i++ {
+		next, ok := p.successor[sid]
+		if !ok {
+			p.unknowns++
+			return 0, false
+		}
+		sid = next
+	}
+	return sid, true
+}
+
+// PredictorStats reports predictor traffic.
+type PredictorStats struct {
+	Predictions uint64
+	Unknowns    uint64
+	Entries     int
+	BurstEWMA   float64
+}
+
+// Stats returns a snapshot of the counters.
+func (p *SIDPredictor) Stats() PredictorStats {
+	return PredictorStats{
+		Predictions: p.predictions,
+		Unknowns:    p.unknowns,
+		Entries:     len(p.successor),
+		BurstEWMA:   p.burstEWMA,
+	}
+}

@@ -1,0 +1,76 @@
+// Package device models the on-device half of the HyperTRIO design: the
+// DevTLB front-end configuration, the Pending Translation Buffer that
+// tracks in-flight translations with out-of-order completion, and the
+// Prefetch Unit (Prefetch Buffer + SID-predictor).
+//
+// Like internal/iommu, this package is time-free: internal/core drives
+// these structures from the event kernel and charges latencies.
+package device
+
+import "fmt"
+
+// PTB is the Pending Translation Buffer: a fixed pool of in-flight
+// translation slots. A packet whose first missing translation cannot
+// allocate a slot at arrival is dropped (and retried at the next arrival
+// slot by the link model); translations complete out of order, each
+// freeing its slot.
+type PTB struct {
+	capacity int
+	inUse    int
+
+	allocs   uint64
+	rejected uint64
+	peak     int
+}
+
+// NewPTB creates a buffer with the given number of slots.
+func NewPTB(capacity int) *PTB {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("device: PTB capacity must be positive, got %d", capacity))
+	}
+	return &PTB{capacity: capacity}
+}
+
+// Capacity returns the slot count.
+func (p *PTB) Capacity() int { return p.capacity }
+
+// InUse returns the number of occupied slots.
+func (p *PTB) InUse() int { return p.inUse }
+
+// Free returns the number of available slots.
+func (p *PTB) Free() int { return p.capacity - p.inUse }
+
+// Alloc takes one slot, reporting whether one was available.
+func (p *PTB) Alloc() bool {
+	if p.inUse >= p.capacity {
+		p.rejected++
+		return false
+	}
+	p.inUse++
+	p.allocs++
+	if p.inUse > p.peak {
+		p.peak = p.inUse
+	}
+	return true
+}
+
+// Release frees one slot. Releasing an empty buffer panics: it means the
+// model double-freed a translation.
+func (p *PTB) Release() {
+	if p.inUse == 0 {
+		panic("device: PTB release with no slots in use")
+	}
+	p.inUse--
+}
+
+// PTBStats reports buffer pressure over a run.
+type PTBStats struct {
+	Allocs   uint64 // successful slot allocations
+	Rejected uint64 // failed allocation attempts
+	Peak     int    // high-water mark of occupied slots
+}
+
+// Stats returns a snapshot of the counters.
+func (p *PTB) Stats() PTBStats {
+	return PTBStats{Allocs: p.allocs, Rejected: p.rejected, Peak: p.peak}
+}

@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hypertrio/internal/core"
+	"hypertrio/internal/stats"
+	"hypertrio/internal/tlb"
+	"hypertrio/internal/trace"
+	"hypertrio/internal/workload"
+)
+
+// Figure9 reproduces the hyper-tenant motivation on the performance
+// model: modeled I/O bandwidth as a function of concurrent connections
+// for different DevTLB configurations (the paper's base design with a
+// 64-entry 8-way DevTLB, a 1024-entry 8-way variant, and a 64-entry
+// fully-associative one), on the mediastream workload at 200 Gb/s.
+func Figure9(o Options) (*stats.Table, error) {
+	t := stats.NewTable("Fig. 9: modeled bandwidth vs connections per DevTLB configuration (mediastream, Gb/s)",
+		"connections", "64e 8-way", "1024e 8-way", "64e full-assoc")
+	for _, n := range tenantSweep(o) {
+		tr, err := buildTrace(workload.Mediastream, n, trace.RR1, o)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{itoa(n)}
+		for _, geom := range []struct{ sets, ways int }{{8, 8}, {128, 8}, {1, 64}} {
+			cfg := core.BaseConfig()
+			cfg.DevTLB.Sets = geom.sets
+			cfg.DevTLB.Ways = geom.ways
+			r, err := simulate(cfg, tr)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, gbps(r))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// Figure11a studies scaling the Base DevTLB from 64 to 1024 entries for
+// every benchmark and interleaving: a larger DevTLB helps mid-range
+// tenant counts but not the hyper-tenant regime.
+func Figure11a(o Options) (*stats.Table, error) {
+	ivs := []trace.Interleave{trace.RR1, trace.RR4, trace.RAND1}
+	t := stats.NewTable("Fig. 11a: Base design bandwidth with 64- vs 1024-entry 8-way DevTLB (Gb/s)",
+		"benchmark", "interleave", "tenants", "64-entry", "1024-entry")
+	for _, kind := range workload.Kinds {
+		for _, iv := range ivs {
+			for _, n := range tenantSweep(o) {
+				tr, err := buildTrace(kind, n, iv, o)
+				if err != nil {
+					return nil, err
+				}
+				small := core.BaseConfig()
+				rs, err := simulate(small, tr)
+				if err != nil {
+					return nil, err
+				}
+				big := core.BaseConfig()
+				big.DevTLB.Sets = 128 // 1024 entries at 8 ways
+				rb, err := simulate(big, tr)
+				if err != nil {
+					return nil, err
+				}
+				t.AddRow(kind.String(), iv.String(), itoa(n), gbps(rs), gbps(rb))
+			}
+		}
+	}
+	return t, nil
+}
+
+// Figure11b studies DevTLB replacement policies on the Base design: LFU
+// (motivated by the access-frequency groups of Fig. 8a) beats LRU in the
+// mid-range, and even the Belady oracle cannot rescue the hyper-tenant
+// regime.
+func Figure11b(o Options) (*stats.Table, error) {
+	policies := []tlb.PolicyKind{tlb.LRU, tlb.LFU, tlb.Oracle}
+	t := stats.NewTable("Fig. 11b: Base design bandwidth per DevTLB replacement policy (Gb/s)",
+		"benchmark", "tenants", "LRU", "LFU", "oracle")
+	for _, kind := range workload.Kinds {
+		for _, n := range tenantSweep(o) {
+			tr, err := buildTrace(kind, n, trace.RR1, o)
+			if err != nil {
+				return nil, err
+			}
+			row := []string{kind.String(), itoa(n)}
+			for _, pol := range policies {
+				cfg := core.BaseConfig()
+				cfg.DevTLB.Policy = pol
+				r, err := simulate(cfg, tr)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, gbps(r))
+			}
+			t.AddRow(row...)
+		}
+	}
+	return t, nil
+}
+
+// Figure11c studies fully associative DevTLBs under oracle replacement,
+// sized at the benchmarks' active translation sets (8/32/36) and at 64
+// entries: once tenant count grows past a handful, even an ideal
+// fully-associative cache cannot keep every tenant's active set resident.
+func Figure11c(o Options) (*stats.Table, error) {
+	sizes := []int{8, 32, 36, 64}
+	t := stats.NewTable("Fig. 11c: fully associative DevTLB with oracle replacement (Gb/s)",
+		"benchmark", "tenants", "8 entries", "32 entries", "36 entries", "64 entries")
+	counts := tenantSweep(o)
+	if !o.Quick {
+		// The interesting range is small tenant counts; cap the sweep so
+		// the fully-associative oracle runs stay tractable.
+		counts = []int{1, 2, 4, 8, 16, 64}
+	}
+	for _, kind := range workload.Kinds {
+		for _, n := range counts {
+			tr, err := buildTrace(kind, n, trace.RR1, o)
+			if err != nil {
+				return nil, err
+			}
+			row := []string{kind.String(), itoa(n)}
+			for _, size := range sizes {
+				cfg := core.BaseConfig()
+				cfg.DevTLB = tlb.Config{
+					Name: "devtlb", Sets: 1, Ways: size,
+					Policy: tlb.Oracle, Index: tlb.ByAddress,
+				}
+				r, err := simulate(cfg, tr)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, gbps(r))
+			}
+			t.AddRow(row...)
+		}
+	}
+	return t, nil
+}
+
+// activeSetNote is used by documentation tests to cross-check §V-C.
+func activeSetNote() string {
+	return fmt.Sprintf("active sets: iperf3=%d mediastream=%d websearch=%d",
+		workload.ProfileFor(workload.Iperf3).ActiveSet(),
+		workload.ProfileFor(workload.Mediastream).ActiveSet(),
+		workload.ProfileFor(workload.Websearch).ActiveSet())
+}

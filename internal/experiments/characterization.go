@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"hypertrio/internal/mem"
+	"hypertrio/internal/stats"
+	"hypertrio/internal/workload"
+)
+
+// Figure8a reproduces the single-tenant page-access-frequency analysis:
+// running the mediastream stream for one tenant and grouping its page
+// frames by access count. The paper's three groups emerge: the ring page
+// (touched every packet), the 2 MB data-buffer pages (roughly equal
+// counts, ~30x rarer than the ring page), and the init-time 4 KB pages
+// (fewer than 100 touches each).
+func Figure8a(o Options) (*stats.Table, error) {
+	scale := 0.5
+	if o.Quick {
+		scale = 0.05
+	}
+	g := workload.NewGenerator(workload.ProfileFor(workload.Mediastream), 1, o.Seed, scale)
+	type bucket struct{ pages, minAcc, maxAcc, total int }
+	counts := map[uint64]int{} // page base -> accesses
+	packets := 0
+	for {
+		pkt, ok := g.Next()
+		if !ok {
+			break
+		}
+		packets++
+		for _, iova := range []uint64{pkt.Ring, pkt.Data, pkt.Mailbox} {
+			shift := uint(workload.PageShiftOf(iova))
+			counts[iova&^(uint64(1)<<shift-1)]++
+		}
+	}
+	groups := map[string]*bucket{}
+	groupOf := func(page uint64) string {
+		switch {
+		case page >= workload.InitBase:
+			return "3: init-time 4KB pages"
+		case page >= workload.DataBase:
+			return "2: data-buffer 2MB pages"
+		default:
+			return "1: ring/mailbox 4KB pages"
+		}
+	}
+	for page, n := range counts {
+		b := groups[groupOf(page)]
+		if b == nil {
+			b = &bucket{minAcc: n, maxAcc: n}
+			groups[groupOf(page)] = b
+		}
+		b.pages++
+		b.total += n
+		if n < b.minAcc {
+			b.minAcc = n
+		}
+		if n > b.maxAcc {
+			b.maxAcc = n
+		}
+	}
+	t := stats.NewTable(
+		fmt.Sprintf("Fig. 8a: page access frequencies, 1 mediastream tenant (%d packets, %d pages)",
+			packets, len(counts)),
+		"group", "pages", "min acc/page", "max acc/page", "total")
+	names := make([]string, 0, len(groups))
+	for name := range groups {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b := groups[name]
+		t.AddRow(name, itoa(b.pages), stats.Count(uint64(b.minAcc)),
+			stats.Count(uint64(b.maxAcc)), stats.Count(uint64(b.total)))
+	}
+	return t, nil
+}
+
+// Figure8b reproduces the data-page access-pattern analysis: the order of
+// 2 MB page-frame accesses is periodic, each page accessed in a long
+// sequential run (~1500 accesses in the paper) before the driver unmaps
+// it and moves to the next page.
+func Figure8b(o Options) (*stats.Table, error) {
+	scale := 1.0
+	if o.Quick {
+		scale = 0.2
+	}
+	g := workload.NewGenerator(workload.ProfileFor(workload.Mediastream), 1, o.Seed, scale)
+	// Count per-page run lengths over the data region: accesses
+	// accumulated on a page between its mapping and the driver's unmap.
+	runs := map[int][]int{} // page index -> run lengths
+	cur := map[int]int{}    // in-progress run per page (streams interleave)
+	for {
+		pkt, ok := g.Next()
+		if !ok {
+			break
+		}
+		if pkt.Data < workload.DataBase || pkt.Data >= workload.InitBase {
+			continue
+		}
+		page := int((pkt.Data - workload.DataBase) >> mem.HugePageShift)
+		cur[page]++
+		if pkt.UnmapIOVA != 0 {
+			up := int((pkt.UnmapIOVA - workload.DataBase) >> mem.HugePageShift)
+			if n := cur[up]; n > 0 {
+				runs[up] = append(runs[up], n)
+				cur[up] = 0
+			}
+		}
+	}
+	// Runs still in progress when the log ends are part of the pattern
+	// too (short logs rarely see a full ~1400-access run complete).
+	for page, n := range cur {
+		if n > 0 {
+			runs[page] = append(runs[page], n)
+		}
+	}
+	t := stats.NewTable("Fig. 8b: data-page access pattern, 1 mediastream tenant (run = accesses before unmap)",
+		"data page", "runs", "min run", "mean run", "max run")
+	pages := make([]int, 0, len(runs))
+	for p := range runs {
+		pages = append(pages, p)
+	}
+	sort.Ints(pages)
+	for _, p := range pages {
+		rs := runs[p]
+		min, max, sum := rs[0], rs[0], 0
+		for _, r := range rs {
+			if r < min {
+				min = r
+			}
+			if r > max {
+				max = r
+			}
+			sum += r
+		}
+		t.AddRow(fmt.Sprintf("%#x", workload.DataBase+uint64(p)<<mem.HugePageShift),
+			itoa(len(rs)), itoa(min), itoa(sum/len(rs)), itoa(max))
+	}
+	return t, nil
+}

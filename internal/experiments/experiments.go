@@ -1,0 +1,136 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation: each Figure*/Table* function sweeps the parameters the
+// paper sweeps and returns the same rows or series the paper reports.
+// The registry in All drives cmd/experiments and the benchmark harness.
+//
+// Scale: absolute bandwidths depend on the testbed, so experiments run at
+// a reduced (but shape-preserving) trace scale by default; EXPERIMENTS.md
+// records the measured values next to the paper's.
+package experiments
+
+import (
+	"fmt"
+
+	"hypertrio/internal/core"
+	"hypertrio/internal/stats"
+	"hypertrio/internal/trace"
+	"hypertrio/internal/workload"
+)
+
+// Options tunes how heavy a regeneration run is.
+type Options struct {
+	// Seed drives trace construction; experiments are deterministic for
+	// a given (Seed, Quick).
+	Seed int64
+	// Quick shrinks tenant counts and trace lengths for CI/benchmarks.
+	Quick bool
+}
+
+// DefaultOptions is what cmd/experiments uses.
+func DefaultOptions() Options { return Options{Seed: 42} }
+
+// Experiment ties a paper artifact to its regeneration function.
+type Experiment struct {
+	ID    string // e.g. "fig10"
+	Title string
+	Run   func(Options) (*stats.Table, error)
+}
+
+// All lists every experiment in presentation order.
+var All = []Experiment{
+	{"table2", "Table II: performance-model parameters", Table2},
+	{"table3", "Table III: translation requests per benchmark", Table3},
+	{"fig4", "Fig. 4: IOMMU TLB miss rate vs parallel connections (AMD case study)", Figure4},
+	{"fig5", "Fig. 5: cumulative bandwidth, native vs VF (Intel case study)", Figure5},
+	{"fig8a", "Fig. 8a: single-tenant page access frequencies", Figure8a},
+	{"fig8b", "Fig. 8b: single-tenant data-page access pattern", Figure8b},
+	{"fig9", "Fig. 9: modeled bandwidth vs connections per DevTLB configuration", Figure9},
+	{"fig10", "Fig. 10: scalability of HyperTRIO vs Base", Figure10},
+	{"fig11a", "Fig. 11a: Base with different DevTLB sizes", Figure11a},
+	{"fig11b", "Fig. 11b: DevTLB replacement policies", Figure11b},
+	{"fig11c", "Fig. 11c: fully associative DevTLB with oracle replacement", Figure11c},
+	{"fig12a", "Fig. 12a: DevTLB and L2/L3 TLB partitioning alone", Figure12a},
+	{"fig12b", "Fig. 12b: Pending Translation Buffer size", Figure12b},
+	{"fig12c", "Fig. 12c: translation prefetching contribution", Figure12c},
+	{"ext-partitions", "Extension: DevTLB partition-count sweep (open question in §V-D)", ExtPartitions},
+	{"ext-walkers", "Extension: IOMMU walker-concurrency sweep", ExtWalkers},
+	{"ext-5level", "Extension: 4- vs 5-level page tables (24- vs 35-access walks)", ExtFiveLevel},
+	{"ext-isolation", "Extension: per-tenant latency fairness (isolation)", ExtIsolation},
+}
+
+// Lookup finds an experiment by ID.
+func Lookup(id string) (Experiment, bool) {
+	for _, e := range All {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// tenantSweep returns the tenant counts an experiment sweeps.
+func tenantSweep(o Options) []int {
+	if o.Quick {
+		return []int{4, 32, 128}
+	}
+	return []int{4, 16, 64, 256, 1024}
+}
+
+// packetsPerTenant balances statistical quality against runtime: small
+// tenant counts need long runs so warmup does not dominate, large counts
+// are already miss-dominated.
+func packetsPerTenant(tenants int, o Options) int {
+	budget := 24000
+	floor, ceil := 300, 4000
+	if o.Quick {
+		budget, floor, ceil = 4000, 120, 1200
+	}
+	ppt := budget / tenants
+	if ppt < floor {
+		ppt = floor
+	}
+	if ppt > ceil {
+		ppt = ceil
+	}
+	return ppt
+}
+
+// scaleFor converts a packets-per-tenant target into the trace scale
+// knob (budgets are in requests; the minimum-budget tenant bounds the
+// trace length).
+func scaleFor(kind workload.Kind, ppt int) float64 {
+	p := workload.ProfileFor(kind)
+	s := float64(ppt*workload.RequestsPerPacket) / float64(p.MinRequests)
+	if s > 1 {
+		s = 1
+	}
+	return s
+}
+
+// buildTrace constructs the hyper-tenant trace for one sweep point.
+func buildTrace(kind workload.Kind, tenants int, iv trace.Interleave, o Options) (*trace.Trace, error) {
+	return trace.Construct(trace.Config{
+		Benchmark:  kind,
+		Tenants:    tenants,
+		Interleave: iv,
+		Seed:       o.Seed,
+		Scale:      scaleFor(kind, packetsPerTenant(tenants, o)),
+	})
+}
+
+// simulate runs one configuration against one trace.
+func simulate(cfg core.Config, tr *trace.Trace) (core.Result, error) {
+	sys, err := core.NewSystem(cfg, tr)
+	if err != nil {
+		return core.Result{}, err
+	}
+	return sys.Run()
+}
+
+// gbps formats a bandwidth cell.
+func gbps(r core.Result) string { return stats.Gbps(r.AchievedGbps * 1e9) }
+
+// util formats a utilization cell.
+func util(r core.Result) string { return stats.Percent(r.Utilization) }
+
+func itoa(n int) string { return fmt.Sprintf("%d", n) }

@@ -1,0 +1,201 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func quick() Options { return Options{Seed: 42, Quick: true} }
+
+// parseGbps pulls a float out of a table cell produced by gbps().
+func parseGbps(t *testing.T, cell string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSpace(cell), 64)
+	if err != nil {
+		t.Fatalf("cell %q is not a bandwidth: %v", cell, err)
+	}
+	return v
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"table2", "table3", "fig4", "fig5", "fig8a", "fig8b",
+		"fig9", "fig10", "fig11a", "fig11b", "fig11c", "fig12a", "fig12b", "fig12c",
+		"ext-partitions", "ext-walkers", "ext-5level", "ext-isolation"}
+	if len(All) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(All), len(want))
+	}
+	for i, id := range want {
+		if All[i].ID != id {
+			t.Errorf("registry[%d] = %s, want %s", i, All[i].ID, id)
+		}
+		if _, ok := Lookup(id); !ok {
+			t.Errorf("Lookup(%s) failed", id)
+		}
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Error("Lookup(nope) succeeded")
+	}
+}
+
+func TestAllExperimentsRunQuick(t *testing.T) {
+	for _, e := range All {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tbl, err := e.Run(quick())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tbl.Rows) == 0 {
+				t.Fatal("experiment produced no rows")
+			}
+			if tbl.Title == "" || len(tbl.Columns) == 0 {
+				t.Fatal("table missing title or columns")
+			}
+			// Every row must be fully populated.
+			for i, row := range tbl.Rows {
+				if len(row) != len(tbl.Columns) {
+					t.Fatalf("row %d has %d cells, want %d", i, len(row), len(tbl.Columns))
+				}
+			}
+		})
+	}
+}
+
+func TestFigure10Shape(t *testing.T) {
+	tbl, err := Figure10(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// HyperTRIO must dominate Base at the largest tenant count for every
+	// benchmark/interleaving, and Base must collapse below 20% there.
+	maxTenants := "128"
+	checked := 0
+	for _, row := range tbl.Rows {
+		if row[2] != maxTenants {
+			continue
+		}
+		checked++
+		base, hyper := parseGbps(t, row[3]), parseGbps(t, row[4])
+		if hyper < 2*base {
+			t.Errorf("%s/%s@%s: HyperTRIO %.1f not >= 2x Base %.1f",
+				row[0], row[1], row[2], hyper, base)
+		}
+		if base > 40 { // 20% of 200 Gb/s
+			t.Errorf("%s/%s@%s: Base %.1f Gb/s did not collapse", row[0], row[1], row[2], base)
+		}
+	}
+	if checked != 9 {
+		t.Fatalf("checked %d rows at %s tenants, want 9", checked, maxTenants)
+	}
+}
+
+func TestFigure12bMonotone(t *testing.T) {
+	tbl, err := Figure12b(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tbl.Rows {
+		p1, p8, p32 := parseGbps(t, row[2]), parseGbps(t, row[3]), parseGbps(t, row[4])
+		// Allow tiny noise but deeper PTBs must never lose badly.
+		if p8 < p1*0.95 || p32 < p8*0.95 {
+			t.Errorf("%s@%s: PTB scaling not monotone: %v %v %v", row[0], row[1], p1, p8, p32)
+		}
+	}
+}
+
+func TestFigure4MissRateRises(t *testing.T) {
+	tbl, err := Figure4(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := tbl.Rows[0][1]
+	last := tbl.Rows[len(tbl.Rows)-1][1]
+	pf, _ := strconv.ParseFloat(strings.TrimSuffix(first, "%"), 64)
+	pl, _ := strconv.ParseFloat(strings.TrimSuffix(last, "%"), 64)
+	if pl <= pf {
+		t.Fatalf("IOTLB miss rate did not rise with connections: %s -> %s", first, last)
+	}
+}
+
+func TestFigure5VFCollapses(t *testing.T) {
+	tbl, err := Figure5(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Native grows/stays near link; VF peaks then collapses.
+	var vfPeak, vfLast, nativeLast float64
+	for _, row := range tbl.Rows {
+		vf := parseGbps(t, row[2])
+		if vf > vfPeak {
+			vfPeak = vf
+		}
+		vfLast = vf
+		nativeLast = parseGbps(t, row[1])
+	}
+	if nativeLast < 8.5 {
+		t.Errorf("native at 32 connections = %.2f Gb/s, want near link rate", nativeLast)
+	}
+	if vfLast > vfPeak/1.5 {
+		t.Errorf("VF did not collapse: peak %.2f, last %.2f", vfPeak, vfLast)
+	}
+}
+
+func TestTable3MatchesPaperBounds(t *testing.T) {
+	tbl, err := Table3(DefaultOptions()) // full 1024 tenants (cheap: no simulation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With enough tenants the sampled max/min approach the profile
+	// bounds; paper columns must be present verbatim.
+	for _, row := range tbl.Rows {
+		if row[4] == "" || row[5] == "" || row[6] == "" {
+			t.Fatalf("paper columns missing in row %v", row)
+		}
+	}
+	if tbl.Rows[0][5] != "68,079" {
+		t.Fatalf("iperf3 paper min = %s, want 68,079", tbl.Rows[0][5])
+	}
+}
+
+func TestScalePolicy(t *testing.T) {
+	o := DefaultOptions()
+	if packetsPerTenant(4, o) <= packetsPerTenant(1024, o) {
+		t.Error("small tenant counts should get more packets per tenant")
+	}
+	for _, n := range []int{1, 4, 1024} {
+		for _, q := range []bool{false, true} {
+			s := scaleFor(0, packetsPerTenant(n, Options{Quick: q}))
+			if s <= 0 || s > 1 {
+				t.Fatalf("scale %v out of range for n=%d quick=%v", s, n, q)
+			}
+		}
+	}
+}
+
+func TestExtWalkersMonotone(t *testing.T) {
+	tbl, err := ExtWalkers(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1.0
+	for _, row := range tbl.Rows {
+		bw := parseGbps(t, row[1])
+		if bw < prev*0.95 {
+			t.Fatalf("bandwidth fell when adding walkers: %v after %v", bw, prev)
+		}
+		prev = bw
+	}
+	// One walker must be a real bottleneck versus unlimited.
+	first := parseGbps(t, tbl.Rows[0][1])
+	last := parseGbps(t, tbl.Rows[len(tbl.Rows)-1][1])
+	if first >= last {
+		t.Fatalf("walker limit had no effect: 1 walker %.1f vs unlimited %.1f", first, last)
+	}
+}
+
+func TestActiveSetNote(t *testing.T) {
+	if activeSetNote() != "active sets: iperf3=8 mediastream=32 websearch=36" {
+		t.Fatalf("unexpected: %s", activeSetNote())
+	}
+}

@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"hypertrio/internal/core"
+	"hypertrio/internal/stats"
+	"hypertrio/internal/trace"
+	"hypertrio/internal/workload"
+)
+
+// Figure10 is the headline result: maximum achievable link bandwidth for
+// the Base and HyperTRIO designs (Table IV) across benchmarks,
+// inter-tenant interleavings and tenant counts.
+func Figure10(o Options) (*stats.Table, error) {
+	ivs := []trace.Interleave{trace.RR1, trace.RR4, trace.RAND1}
+	t := stats.NewTable("Fig. 10: scalability of I/O bandwidth, HyperTRIO vs Base",
+		"benchmark", "interleave", "tenants", "Base Gb/s", "HyperTRIO Gb/s", "Base util", "HyperTRIO util")
+	for _, kind := range workload.Kinds {
+		for _, iv := range ivs {
+			for _, n := range tenantSweep(o) {
+				tr, err := buildTrace(kind, n, iv, o)
+				if err != nil {
+					return nil, err
+				}
+				rb, err := simulate(core.BaseConfig(), tr)
+				if err != nil {
+					return nil, err
+				}
+				rh, err := simulate(core.HyperTRIOConfig(), tr)
+				if err != nil {
+					return nil, err
+				}
+				t.AddRow(kind.String(), iv.String(), itoa(n),
+					gbps(rb), gbps(rh), util(rb), util(rh))
+			}
+		}
+	}
+	return t, nil
+}
+
+// partitionedOnly is the Fig. 12a configuration: Table IV partitioning of
+// the DevTLB and L2/L3 TLBs with no PTB overlap and no prefetching.
+func partitionedOnly() core.Config {
+	cfg := core.HyperTRIOConfig()
+	cfg.PTBEntries = 1
+	cfg.Prefetch = nil
+	return cfg
+}
+
+// Figure12a isolates the partitioning scheme: bandwidth with partitioned
+// DevTLB and page-walk caches but a single PTB entry and no prefetcher.
+func Figure12a(o Options) (*stats.Table, error) {
+	t := stats.NewTable("Fig. 12a: effect of DevTLB and L2/L3 TLB partitioning alone (Gb/s)",
+		"benchmark", "tenants", "Base", "partitioned")
+	for _, kind := range workload.Kinds {
+		for _, n := range tenantSweep(o) {
+			tr, err := buildTrace(kind, n, trace.RR1, o)
+			if err != nil {
+				return nil, err
+			}
+			rb, err := simulate(core.BaseConfig(), tr)
+			if err != nil {
+				return nil, err
+			}
+			rp, err := simulate(partitionedOnly(), tr)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(kind.String(), itoa(n), gbps(rb), gbps(rp))
+		}
+	}
+	return t, nil
+}
+
+// Figure12b sweeps the Pending Translation Buffer size on top of the
+// partitioned design (still no prefetching): deeper buffers hide more
+// translation latency via out-of-order completion.
+func Figure12b(o Options) (*stats.Table, error) {
+	sizes := []int{1, 8, 32}
+	t := stats.NewTable("Fig. 12b: effect of Pending Translation Buffer size (partitioned, no prefetch, Gb/s)",
+		"benchmark", "tenants", "PTB=1", "PTB=8", "PTB=32")
+	for _, kind := range workload.Kinds {
+		for _, n := range tenantSweep(o) {
+			tr, err := buildTrace(kind, n, trace.RR1, o)
+			if err != nil {
+				return nil, err
+			}
+			row := []string{kind.String(), itoa(n)}
+			for _, size := range sizes {
+				cfg := partitionedOnly()
+				cfg.PTBEntries = size
+				r, err := simulate(cfg, tr)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, gbps(r))
+			}
+			t.AddRow(row...)
+		}
+	}
+	return t, nil
+}
+
+// Figure12c isolates the Translation Prefetching Scheme: the full
+// HyperTRIO design versus the same design without the Prefetch Unit,
+// plus the share of requests served straight from the Prefetch Buffer
+// (the paper reports 45% for websearch at 1024 tenants).
+func Figure12c(o Options) (*stats.Table, error) {
+	t := stats.NewTable("Fig. 12c: contribution of translation prefetching (Gb/s)",
+		"benchmark", "tenants", "PTB+partition", "+prefetch", "gain", "PB served")
+	for _, kind := range workload.Kinds {
+		for _, n := range tenantSweep(o) {
+			tr, err := buildTrace(kind, n, trace.RR1, o)
+			if err != nil {
+				return nil, err
+			}
+			noPf := core.HyperTRIOConfig()
+			noPf.Prefetch = nil
+			rn, err := simulate(noPf, tr)
+			if err != nil {
+				return nil, err
+			}
+			rp, err := simulate(core.HyperTRIOConfig(), tr)
+			if err != nil {
+				return nil, err
+			}
+			gain := 0.0
+			if rn.AchievedGbps > 0 {
+				gain = (rp.AchievedGbps - rn.AchievedGbps) / rn.AchievedGbps
+			}
+			t.AddRow(kind.String(), itoa(n), gbps(rn), gbps(rp),
+				stats.Percent(gain), stats.Percent(rp.PrefetchServedShare()))
+		}
+	}
+	return t, nil
+}

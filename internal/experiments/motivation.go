@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"hypertrio/internal/core"
+	"hypertrio/internal/mem"
+	"hypertrio/internal/stats"
+	"hypertrio/internal/tlb"
+	"hypertrio/internal/trace"
+	"hypertrio/internal/workload"
+)
+
+// Table2 reports the performance-model parameters (Table II) as the model
+// actually uses them — a self-check that defaults match the paper.
+func Table2(Options) (*stats.Table, error) {
+	p := core.DefaultParams()
+	t := stats.NewTable("Table II: system parameters used by the performance model",
+		"parameter", "value")
+	t.AddRow("One-way PCIe latency", p.PCIeOneWay.String())
+	t.AddRow("DRAM latency", p.DRAMLatency.String())
+	t.AddRow("IOTLB hit", p.TLBHit.String())
+	t.AddRow("# memory accesses during PTW (4 KB)", "24")
+	t.AddRow("# memory accesses during PTW (2 MB)", "18")
+	t.AddRow("Packet size at I/O link", itoa(p.PacketBytes)+"B (Eth Pkt + IPG)")
+	t.AddRow("I/O link bandwidth", stats.Gbps(p.LinkGbps*1e9)+" Gb/s")
+	t.AddRow("L2 Page Cache", "512 entries, 16-ways")
+	t.AddRow("L3 Page Cache", "1024 entries, 16-ways")
+	return t, nil
+}
+
+// Table3 reproduces the per-benchmark translation-request accounting.
+// Budgets come from the generators; totals follow the edge-effect rule
+// (the minimum-budget tenant bounds the trace), so the table is computed
+// without materializing the paper-scale 70M-request traces.
+func Table3(o Options) (*stats.Table, error) {
+	tenants := 1024
+	if o.Quick {
+		tenants = 128
+	}
+	t := stats.NewTable("Table III: translation requests recorded per benchmark (scale 1.0)",
+		"benchmark", "max #transl/tnt", "min #transl/tnt",
+		"total for "+itoa(tenants)+" tnt", "paper max", "paper min", "paper total@1024")
+	paper := map[workload.Kind][3]string{
+		workload.Iperf3:      {"108,510", "68,079", "69,712,894"},
+		workload.Mediastream: {"73,657", "5,520", "5,652,477"},
+		workload.Websearch:   {"108,513", "43,362", "44,402,679"},
+	}
+	for _, kind := range workload.Kinds {
+		p := workload.ProfileFor(kind)
+		min, max := -1, 0
+		for i := 1; i <= tenants; i++ {
+			b := workload.BudgetFor(p, mem.SID(i), o.Seed, 1.0)
+			if min < 0 || b < min {
+				min = b
+			}
+			if b > max {
+				max = b
+			}
+		}
+		// RR1 edge effect: every tenant contributes ~min requests
+		// (whole packets).
+		perTenant := min / workload.RequestsPerPacket * workload.RequestsPerPacket
+		total := uint64(perTenant) * uint64(tenants)
+		pp := paper[kind]
+		t.AddRow(kind.String(), stats.Count(uint64(max)), stats.Count(uint64(min)),
+			stats.Count(total), pp[0], pp[1], pp[2])
+	}
+	return t, nil
+}
+
+// Figure4 reproduces the AMD case study: IOMMU TLB miss rate versus the
+// number of parallel iperf3 connections on a 10 Gb/s host. The model uses
+// a hash-indexed chipset IOTLB (AMD's IOMMU hashes the domain ID into the
+// set index) with no DevTLB, so the miss rate stays negligible until the
+// aggregate active translation set approaches IOTLB capacity and climbs
+// past it — the paper's 80-to-120-connection inflection.
+func Figure4(o Options) (*stats.Table, error) {
+	counts := []int{64, 72, 80, 88, 96, 104, 112, 120}
+	if o.Quick {
+		counts = []int{64, 96, 120}
+	}
+	t := stats.NewTable("Fig. 4: IOMMU TLB PTE miss rate vs parallel connections (10 Gb/s, iperf3)",
+		"connections", "miss rate", "nested page reads", "translations")
+	for _, n := range counts {
+		tr, err := buildTrace(workload.Iperf3, n, trace.RR1, o)
+		if err != nil {
+			return nil, err
+		}
+		cfg := core.BaseConfig()
+		cfg.Params.LinkGbps = 10
+		cfg.DevTLB.Sets = 0 // the study counts chipset-side misses
+		cfg.PTBEntries = 64
+		cfg.IOMMU.IOTLB = tlb.Config{
+			Name: "amd-iotlb", Sets: 128, Ways: 8, Policy: tlb.LRU, Index: tlb.Hashed,
+		}
+		r, err := simulate(cfg, tr)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(itoa(n), stats.Percent(r.IOMMU.IOTLB.MissRate()),
+			stats.Count(r.IOMMU.MemAccesses), stats.Count(r.IOMMU.Translations))
+	}
+	return t, nil
+}
+
+// Figure5 reproduces the Intel case study: cumulative bandwidth for
+// native (host interface, no translation) versus virtualized (VF)
+// connections over one 10 Gb/s link. Hosts cap a single connection at
+// 8.7 Gb/s (native) and 6.7 Gb/s (VF) of goodput; the VF path uses the
+// Base translation design of a legacy NIC (64-entry DevTLB, serialized
+// per-packet translations) with guests running 4 KB data buffers (the
+// case-study VMs had no hugepage-backed buffers), which collapses once
+// around eight tenants thrash the shared DevTLB.
+func Figure5(o Options) (*stats.Table, error) {
+	counts := []int{1, 2, 4, 8, 12, 16, 24, 32}
+	if o.Quick {
+		counts = []int{1, 8, 16, 32}
+	}
+	// Goodput -> wire-rate conversion for 1500 B payloads in 1542 B slots.
+	const wirePerGood = 1542.0 / 1500.0
+	t := stats.NewTable("Fig. 5: cumulative goodput vs concurrent connections (10 Gb/s link)",
+		"connections", "host native Gb/s", "VF Gb/s")
+	small := workload.SmallDataVariant(workload.ProfileFor(workload.Iperf3))
+	for _, n := range counts {
+		tr, err := trace.Construct(trace.Config{
+			Benchmark:  workload.Iperf3,
+			Tenants:    n,
+			Interleave: trace.RR1,
+			Seed:       o.Seed,
+			Scale:      scaleFor(workload.Iperf3, packetsPerTenant(n, o)),
+			Profile:    &small,
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Native: no translation, per-connection CPU cap 8.7 Gb/s.
+		native := core.BaseConfig()
+		native.Params.LinkGbps = 10
+		native.Params.ArrivalGbps = capGbps(float64(n)*8.7*wirePerGood, 10)
+		native.TranslationOff = true
+		rn, err := simulate(native, tr)
+		if err != nil {
+			return nil, err
+		}
+		// VF: translation through a legacy device, cap 6.7 Gb/s.
+		vf := core.BaseConfig()
+		vf.Params.LinkGbps = 10
+		vf.Params.ArrivalGbps = capGbps(float64(n)*6.7*wirePerGood, 10)
+		vf.SerialRequests = true
+		rv, err := simulate(vf, tr)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(itoa(n),
+			stats.Gbps(rn.AchievedGbps/wirePerGood*1e9),
+			stats.Gbps(rv.AchievedGbps/wirePerGood*1e9))
+	}
+	return t, nil
+}
+
+func capGbps(v, max float64) float64 {
+	if v > max {
+		return max
+	}
+	return v
+}

@@ -1,0 +1,81 @@
+package iommu
+
+import "hypertrio/internal/mem"
+
+// DefaultHistoryDepth is how many recently used gIOVA pages the chipset
+// keeps per DID in main memory; the IOVA history reader fetches the two
+// most recent on a prefetch request (§III).
+const DefaultHistoryDepth = 4
+
+// HistoryEntry is one recently translated page of a tenant.
+type HistoryEntry struct {
+	IOVA      uint64 // page base
+	PageShift uint8
+}
+
+// History is the per-DID store of recently accessed gIOVA pages. The
+// paper keeps it in main memory precisely because it scales with tenant
+// count; reading it costs one DRAM access, charged by the core model.
+type History struct {
+	depth int
+	bySID map[mem.SID][]HistoryEntry
+}
+
+// NewHistory creates a store remembering depth pages per tenant.
+func NewHistory(depth int) *History {
+	if depth <= 0 {
+		depth = DefaultHistoryDepth
+	}
+	return &History{depth: depth, bySID: make(map[mem.SID][]HistoryEntry)}
+}
+
+// Record notes that sid translated iova. Consecutive accesses to the same
+// page deduplicate, so the history holds the most recent *distinct* pages
+// (a packet's ring/data/mailbox pages rather than three copies of one).
+func (h *History) Record(sid mem.SID, iova uint64, pageShift uint8) {
+	base := iova &^ (uint64(1)<<pageShift - 1)
+	entries := h.bySID[sid]
+	for i, e := range entries {
+		if e.IOVA == base {
+			// Move to front.
+			copy(entries[1:i+1], entries[:i])
+			entries[0] = HistoryEntry{IOVA: base, PageShift: pageShift}
+			return
+		}
+	}
+	entries = append(entries, HistoryEntry{})
+	copy(entries[1:], entries)
+	entries[0] = HistoryEntry{IOVA: base, PageShift: pageShift}
+	if len(entries) > h.depth {
+		entries = entries[:h.depth]
+	}
+	h.bySID[sid] = entries
+}
+
+// Recent returns up to n most recently used distinct pages for sid,
+// most recent first.
+func (h *History) Recent(sid mem.SID, n int) []HistoryEntry {
+	entries := h.bySID[sid]
+	if n > len(entries) {
+		n = len(entries)
+	}
+	out := make([]HistoryEntry, n)
+	copy(out, entries[:n])
+	return out
+}
+
+// Drop removes an unmapped page from sid's history so the prefetcher
+// does not chase stale translations.
+func (h *History) Drop(sid mem.SID, iova uint64, pageShift uint8) {
+	base := iova &^ (uint64(1)<<pageShift - 1)
+	entries := h.bySID[sid]
+	for i, e := range entries {
+		if e.IOVA == base {
+			h.bySID[sid] = append(entries[:i], entries[i+1:]...)
+			return
+		}
+	}
+}
+
+// Tenants reports how many SIDs have history; for tests.
+func (h *History) Tenants() int { return len(h.bySID) }

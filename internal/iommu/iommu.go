@@ -1,0 +1,247 @@
+// Package iommu models the chipset side of the translation path: the
+// context cache, an optional chipset IOTLB, the partitionable L2/L3
+// page-walk caches, and the two-dimensional page-table walker driven
+// against the real page tables in internal/mem.
+//
+// The package is purely functional with respect to time: Translate
+// reports how many physical memory accesses the translation performed
+// and which structures hit; the performance model (internal/core)
+// converts those counts into latency.
+package iommu
+
+import (
+	"fmt"
+
+	"hypertrio/internal/mem"
+	"hypertrio/internal/tlb"
+)
+
+// Config describes the chipset translation hardware.
+type Config struct {
+	// ContextCache caches SID -> context entries; a miss costs
+	// mem.ContextReadAccesses memory reads.
+	ContextCache tlb.Config
+	// IOTLB is an optional chipset-resident gIOVA->hPA cache (used by
+	// the Fig. 4 motivational study; the Base/HyperTRIO configurations
+	// of Table IV rely on the on-device DevTLB instead). Sets == 0
+	// disables it.
+	IOTLB tlb.Config
+	// L2PWC caches partial walks at 2 MB granularity: (SID, iova>>21) ->
+	// host address of the guest L1 table. 4 KB mappings only.
+	L2PWC tlb.Config
+	// L3PWC caches partial walks at 1 GB granularity: (SID, iova>>30) ->
+	// host address of the guest L2 table.
+	L3PWC tlb.Config
+}
+
+// DefaultContextCache returns the context-cache geometry used by every
+// experiment: 64 entries, fully associative, LRU.
+func DefaultContextCache() tlb.Config {
+	return tlb.Config{Name: "context-cache", Sets: 1, Ways: 64, Policy: tlb.LRU}
+}
+
+// IOMMU is the chipset translation agent for one shared device.
+type IOMMU struct {
+	cfg Config
+
+	ctxTable *mem.ContextTable
+	tenants  map[mem.SID]*mem.NestedTable
+
+	cc    *tlb.Cache
+	iotlb *tlb.Cache // nil when disabled
+	l2pwc *tlb.Cache
+	l3pwc *tlb.Cache
+
+	history *History
+
+	// Counters.
+	translations uint64
+	walks        uint64
+	memAccesses  uint64
+}
+
+// New builds the IOMMU. ctxTable must contain an entry for every SID that
+// will translate; tenants maps each SID to its nested page tables.
+func New(cfg Config, ctxTable *mem.ContextTable, tenants map[mem.SID]*mem.NestedTable) *IOMMU {
+	u := &IOMMU{
+		cfg:      cfg,
+		ctxTable: ctxTable,
+		tenants:  tenants,
+		cc:       tlb.New(cfg.ContextCache),
+		l2pwc:    tlb.New(cfg.L2PWC),
+		l3pwc:    tlb.New(cfg.L3PWC),
+		history:  NewHistory(DefaultHistoryDepth),
+	}
+	if cfg.IOTLB.Sets > 0 {
+		u.iotlb = tlb.New(cfg.IOTLB)
+	}
+	return u
+}
+
+// Result reports what one translation did.
+type Result struct {
+	HPA uint64
+
+	CCHit    bool
+	IOTLBHit bool
+	// PWCLevel records the deepest page-walk-cache hit: 0 none,
+	// 2 for the L2 (2 MB granule) cache, 3 for the L3 (1 GB granule).
+	PWCLevel int
+	// MemAccesses is the number of physical memory reads performed
+	// (context table + page-table walk). Zero on an IOTLB hit with a
+	// warm context cache.
+	MemAccesses int
+}
+
+// PageKey builds the cache key for a translation at its mapping's native
+// granule. The page-size class is folded into the tag's high bits so 4 KB
+// and 2 MB mappings never alias.
+func PageKey(sid mem.SID, iova uint64, pageShift uint8) tlb.Key {
+	return tlb.Key{SID: uint16(sid), Tag: iova>>pageShift | uint64(pageShift)<<56}
+}
+
+func granuleKey(sid mem.SID, iova uint64, shift uint) tlb.Key {
+	return tlb.Key{SID: uint16(sid), Tag: iova >> shift}
+}
+
+// Translate resolves one gIOVA for sid. pageShift is the native page size
+// of the mapping (the device learns it from the descriptor format; the
+// model carries it in the trace). recordHistory controls whether the
+// access updates the per-DID IOVA history (demand accesses do, prefetch
+// reads must not).
+func (u *IOMMU) Translate(sid mem.SID, iova uint64, pageShift uint8, recordHistory bool) (Result, error) {
+	var res Result
+	u.translations++
+
+	// Context lookup: SID -> page-table roots.
+	ccKey := tlb.Key{SID: uint16(sid)}
+	if _, ok := u.cc.Lookup(ccKey); ok {
+		res.CCHit = true
+	} else {
+		if _, err := u.ctxTable.Lookup(sid); err != nil {
+			return res, err
+		}
+		res.MemAccesses += mem.ContextReadAccesses
+		u.cc.Insert(tlb.Entry{Key: ccKey})
+	}
+
+	nt, ok := u.tenants[sid]
+	if !ok {
+		return res, fmt.Errorf("iommu: no nested table for SID %d", sid)
+	}
+
+	if recordHistory {
+		u.history.Record(sid, iova, pageShift)
+	}
+
+	// Chipset IOTLB (optional).
+	iotlbKey := PageKey(sid, iova, pageShift)
+	if u.iotlb != nil {
+		if e, ok := u.iotlb.Lookup(iotlbKey); ok {
+			res.IOTLBHit = true
+			res.HPA = e.Value | iova&(uint64(1)<<pageShift-1)
+			u.memAccesses += uint64(res.MemAccesses)
+			return res, nil
+		}
+	}
+
+	// Page-walk caches: resume the two-dimensional walk as deep as
+	// possible. The L2 granule only caches a resume point for 4 KB
+	// mappings (for 2 MB pages the L2-granule object is the final
+	// translation itself, which lives in the IOTLB/DevTLB).
+	var walk mem.NestedResult
+	var err error
+	u.walks++
+	switch {
+	case pageShift == mem.PageShift && u.l2pwcHit(sid, iova):
+		res.PWCLevel = 2
+		tblHPA, terr := nt.TableHPA(iova, 1)
+		if terr != nil {
+			return res, terr
+		}
+		walk, err = nt.WalkFrom(iova, 1, tblHPA)
+	case u.l3pwcHit(sid, iova):
+		res.PWCLevel = 3
+		tblHPA, terr := nt.TableHPA(iova, 2)
+		if terr != nil {
+			return res, terr
+		}
+		walk, err = nt.WalkFrom(iova, 2, tblHPA)
+	default:
+		walk, err = nt.Walk(iova)
+	}
+	if err != nil {
+		return res, fmt.Errorf("iommu: walking %#x for SID %d: %w", iova, sid, err)
+	}
+	res.MemAccesses += len(walk.Accesses)
+	res.HPA = walk.HPA
+	u.memAccesses += uint64(res.MemAccesses)
+
+	// Install what the walk learned.
+	pageMask := uint64(1)<<pageShift - 1
+	if u.iotlb != nil {
+		u.iotlb.Insert(tlb.Entry{Key: iotlbKey, Value: walk.HPA &^ pageMask, PageShift: pageShift})
+	}
+	if tblHPA, terr := nt.TableHPA(iova, 2); terr == nil {
+		u.l3pwc.Insert(tlb.Entry{Key: granuleKey(sid, iova, mem.GiantPageShift), Value: uint64(tblHPA)})
+	}
+	if pageShift == mem.PageShift {
+		if tblHPA, terr := nt.TableHPA(iova, 1); terr == nil {
+			u.l2pwc.Insert(tlb.Entry{Key: granuleKey(sid, iova, mem.HugePageShift), Value: uint64(tblHPA)})
+		}
+	}
+	return res, nil
+}
+
+func (u *IOMMU) l2pwcHit(sid mem.SID, iova uint64) bool {
+	_, ok := u.l2pwc.Lookup(granuleKey(sid, iova, mem.HugePageShift))
+	return ok
+}
+
+func (u *IOMMU) l3pwcHit(sid mem.SID, iova uint64) bool {
+	_, ok := u.l3pwc.Lookup(granuleKey(sid, iova, mem.GiantPageShift))
+	return ok
+}
+
+// Invalidate drops cached state for one unmapped page (driver unmap →
+// IOTLB invalidation command). Page-walk-cache entries for the covering
+// granules are dropped too, conservatively.
+func (u *IOMMU) Invalidate(sid mem.SID, iova uint64, pageShift uint8) {
+	if u.iotlb != nil {
+		u.iotlb.Invalidate(PageKey(sid, iova, pageShift))
+	}
+	if pageShift == mem.PageShift {
+		u.l2pwc.Invalidate(granuleKey(sid, iova, mem.HugePageShift))
+	}
+	u.history.Drop(sid, iova, pageShift)
+}
+
+// History returns the per-DID IOVA history store.
+func (u *IOMMU) History() *History { return u.history }
+
+// Stats bundles the IOMMU counters for reporting.
+type Stats struct {
+	Translations uint64
+	Walks        uint64
+	MemAccesses  uint64
+	ContextCache tlb.Stats
+	IOTLB        tlb.Stats
+	L2PWC        tlb.Stats
+	L3PWC        tlb.Stats
+}
+
+// Stats returns a snapshot of the counters.
+func (u *IOMMU) Stats() Stats {
+	s := Stats{
+		Translations: u.translations,
+		Walks:        u.walks,
+		MemAccesses:  u.memAccesses,
+		ContextCache: u.cc.Stats(),
+		L2PWC:        u.l2pwc.Stats(),
+		L3PWC:        u.l3pwc.Stats(),
+	}
+	if u.iotlb != nil {
+		s.IOTLB = u.iotlb.Stats()
+	}
+	return s
+}

@@ -1,0 +1,57 @@
+package mem
+
+import "fmt"
+
+// SID is a Source ID: the PCIe Bus/Device/Function identity of a tenant's
+// virtual function. The hypervisor assigns SIDs when a VF is attached, so
+// the translation hardware can key per-tenant state on it.
+type SID uint16
+
+// ContextEntry is what the IOMMU's context table stores per SID: the
+// domain ID and the roots of the tenant's two translation dimensions.
+type ContextEntry struct {
+	DID       uint16 // domain (tenant) identifier configured by the host
+	GuestRoot Addr   // guest-physical address of the guest L4 table
+	HostRoot  Addr   // host-physical address of the host L4 table
+}
+
+// ContextTable is the in-memory structure the IOMMU consults on a context
+// cache miss. Reading an entry costs ReadAccesses memory accesses (the
+// VT-d root table plus the context table itself).
+type ContextTable struct {
+	entries map[SID]ContextEntry
+}
+
+// ContextReadAccesses is the number of physical memory accesses one
+// context-table lookup costs on a context-cache miss: one read of the
+// root-table entry and one of the context entry.
+const ContextReadAccesses = 2
+
+// NewContextTable returns an empty context table.
+func NewContextTable() *ContextTable {
+	return &ContextTable{entries: make(map[SID]ContextEntry)}
+}
+
+// Set installs or replaces the entry for sid.
+func (ct *ContextTable) Set(sid SID, e ContextEntry) { ct.entries[sid] = e }
+
+// Lookup returns the entry for sid.
+func (ct *ContextTable) Lookup(sid SID) (ContextEntry, error) {
+	e, ok := ct.entries[sid]
+	if !ok {
+		return ContextEntry{}, fmt.Errorf("mem: no context entry for SID %#x", uint16(sid))
+	}
+	return e, nil
+}
+
+// Len reports the number of installed entries.
+func (ct *ContextTable) Len() int { return len(ct.entries) }
+
+// SIDs returns all installed SIDs in unspecified order.
+func (ct *ContextTable) SIDs() []SID {
+	out := make([]SID, 0, len(ct.entries))
+	for sid := range ct.entries {
+		out = append(out, sid)
+	}
+	return out
+}

@@ -1,0 +1,149 @@
+// Package mem implements the memory substrate of the HyperSIO model:
+// simulated physical address spaces, 4-level radix page tables, and the
+// two-dimensional (nested) page-table walker that the IOMMU model drives.
+//
+// Unlike a latency-only model, the page tables here are real data
+// structures: Map writes present entries into simulated table pages and
+// Walk reads them back, returning both the translation and the exact
+// sequence of physical accesses the walk performed. The performance model
+// charges DRAM latency per returned access, and tests verify that
+// translations round-trip against the allocator.
+package mem
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Architectural constants for x86-64-style 4-level paging.
+const (
+	PageShift      = 12 // 4 KB base pages
+	PageSize       = 1 << PageShift
+	HugePageShift  = 21 // 2 MB huge pages
+	HugePageSize   = 1 << HugePageShift
+	GiantPageShift = 30 // 1 GB pages (supported by the walker, unused by workloads)
+
+	// EntriesPerTable is the fan-out of one page-table page.
+	EntriesPerTable = 512
+
+	// Levels in a full walk: L4 -> L3 -> L2 -> L1.
+	Levels = 4
+)
+
+// Addr is an address in some simulated physical address space (host
+// physical or guest physical, depending on the Space it belongs to).
+type Addr uint64
+
+// table is one 4 KB page-table page: 512 64-bit entries.
+type table [EntriesPerTable]uint64
+
+// Page-table entry layout (a simplified x86-64 PTE):
+//
+//	bit 0      present
+//	bit 7      page size (PS): entry maps a huge/giant page at L2/L3
+//	bits 12..  physical frame address
+const (
+	ptePresent  = 1 << 0
+	ptePageSize = 1 << 7
+	pteAddrMask = ^uint64(PageSize - 1)
+)
+
+// Space is a simulated physical address space: a bump allocator for frames
+// plus sparse storage for the page-table pages that live in it. Data
+// frames are allocated but not backed — the model never reads packet
+// payloads, only page-table pages.
+type Space struct {
+	name   string
+	next   Addr
+	limit  Addr
+	tables map[Addr]*table
+
+	// access statistics
+	reads  uint64
+	writes uint64
+}
+
+// NewSpace creates an address space whose allocations start at base.
+// limit (0 = unbounded) caps the bump allocator; exceeding it panics,
+// which in practice means a workload was misconfigured.
+func NewSpace(name string, base, limit Addr) *Space {
+	if base%PageSize != 0 {
+		panic(fmt.Sprintf("mem: space %q base %#x not page aligned", name, base))
+	}
+	return &Space{name: name, next: base, limit: limit, tables: make(map[Addr]*table)}
+}
+
+// Name returns the label the space was created with.
+func (s *Space) Name() string { return s.name }
+
+// Reads returns the number of 8-byte entry reads performed in this space.
+func (s *Space) Reads() uint64 { return s.reads }
+
+// Writes returns the number of entry writes performed in this space.
+func (s *Space) Writes() uint64 { return s.writes }
+
+// AllocFrame reserves one naturally aligned frame of size 1<<shift and
+// returns its base address.
+func (s *Space) AllocFrame(shift uint) Addr {
+	size := Addr(1) << shift
+	base := (s.next + size - 1) &^ (size - 1)
+	s.next = base + size
+	if s.limit != 0 && s.next > s.limit {
+		panic(fmt.Sprintf("mem: space %q exhausted (limit %#x)", s.name, s.limit))
+	}
+	return base
+}
+
+// AllocTable reserves a 4 KB frame and registers it as a page-table page.
+func (s *Space) AllocTable() Addr {
+	base := s.AllocFrame(PageShift)
+	s.tables[base] = &table{}
+	return base
+}
+
+// Allocated reports the next free address, i.e. the high-water mark.
+func (s *Space) Allocated() Addr { return s.next }
+
+// TableCount reports how many page-table pages live in the space.
+func (s *Space) TableCount() int { return len(s.tables) }
+
+// ReadEntry reads the 8-byte entry at addr, which must fall inside a
+// registered table page.
+func (s *Space) ReadEntry(addr Addr) (uint64, error) {
+	base := addr &^ (PageSize - 1)
+	t, ok := s.tables[base]
+	if !ok {
+		return 0, fmt.Errorf("mem: read of non-table address %#x in space %q", uint64(addr), s.name)
+	}
+	if addr%8 != 0 {
+		return 0, fmt.Errorf("mem: misaligned entry read %#x", uint64(addr))
+	}
+	s.reads++
+	return t[(addr-base)/8], nil
+}
+
+// WriteEntry writes the 8-byte entry at addr inside a registered table page.
+func (s *Space) WriteEntry(addr Addr, v uint64) error {
+	base := addr &^ (PageSize - 1)
+	t, ok := s.tables[base]
+	if !ok {
+		return fmt.Errorf("mem: write to non-table address %#x in space %q", uint64(addr), s.name)
+	}
+	if addr%8 != 0 {
+		return fmt.Errorf("mem: misaligned entry write %#x", uint64(addr))
+	}
+	s.writes++
+	t[(addr-base)/8] = v
+	return nil
+}
+
+// TableAddrs returns the sorted base addresses of all table pages;
+// used by tests and the trace serializer.
+func (s *Space) TableAddrs() []Addr {
+	out := make([]Addr, 0, len(s.tables))
+	for a := range s.tables {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

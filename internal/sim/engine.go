@@ -1,0 +1,191 @@
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+)
+
+// Handler is a callback executed when an event fires. It receives the
+// engine so it can schedule follow-up events, and the firing time.
+type Handler func(e *Engine, now Time)
+
+// event is one pending callback in the queue.
+type event struct {
+	at     Time
+	seq    uint64 // schedule order, breaks timestamp ties deterministically
+	fn     Handler
+	index  int // heap index, -1 once popped or cancelled
+	cancel bool
+	label  string
+}
+
+// EventID identifies a scheduled event so it can be cancelled.
+type EventID struct{ ev *event }
+
+// eventQueue is a min-heap ordered by (time, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// Engine is a deterministic discrete-event simulator. Events scheduled
+// for the same timestamp fire in scheduling order. Engine is not safe for
+// concurrent use; the whole model is single-threaded by design, which is
+// also what makes runs reproducible.
+type Engine struct {
+	now     Time
+	queue   eventQueue
+	nextSeq uint64
+	fired   uint64
+	stopped bool
+}
+
+// NewEngine returns an engine with the clock at time zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired reports how many events have executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending reports how many events are currently scheduled.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// ErrPastEvent is returned by ScheduleAt when the requested time is
+// before the current simulation time.
+var ErrPastEvent = errors.New("sim: event scheduled in the past")
+
+// Schedule queues fn to run after delay. A negative delay panics: the
+// model must never travel backwards in time.
+func (e *Engine) Schedule(delay Duration, fn Handler) EventID {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d ps", int64(delay)))
+	}
+	return e.scheduleAt(e.now.Add(delay), fn, "")
+}
+
+// ScheduleAt queues fn to run at the absolute time at.
+func (e *Engine) ScheduleAt(at Time, fn Handler) (EventID, error) {
+	if at < e.now {
+		return EventID{}, fmt.Errorf("%w: at=%v now=%v", ErrPastEvent, at, e.now)
+	}
+	return e.scheduleAt(at, fn, ""), nil
+}
+
+// ScheduleLabeled is Schedule with a debug label attached to the event.
+func (e *Engine) ScheduleLabeled(delay Duration, label string, fn Handler) EventID {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d ps", int64(delay)))
+	}
+	return e.scheduleAt(e.now.Add(delay), fn, label)
+}
+
+func (e *Engine) scheduleAt(at Time, fn Handler, label string) EventID {
+	ev := &event{at: at, seq: e.nextSeq, fn: fn, label: label}
+	e.nextSeq++
+	heap.Push(&e.queue, ev)
+	return EventID{ev: ev}
+}
+
+// Cancel removes a scheduled event. Cancelling an already-fired or
+// already-cancelled event is a no-op and returns false.
+func (e *Engine) Cancel(id EventID) bool {
+	ev := id.ev
+	if ev == nil || ev.cancel || ev.index < 0 {
+		return false
+	}
+	ev.cancel = true
+	heap.Remove(&e.queue, ev.index)
+	return true
+}
+
+// Stop makes Run return after the currently executing event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Step fires the single earliest pending event. It returns false when the
+// queue is empty.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*event)
+		if ev.cancel {
+			continue
+		}
+		if ev.at < e.now {
+			panic(fmt.Sprintf("sim: time went backwards: %v -> %v (%s)", e.now, ev.at, ev.label))
+		}
+		e.now = ev.at
+		e.fired++
+		ev.fn(e, e.now)
+		return true
+	}
+	return false
+}
+
+// Run fires events until the queue drains or Stop is called. It returns
+// the number of events executed during this call.
+func (e *Engine) Run() uint64 {
+	start := e.fired
+	e.stopped = false
+	for !e.stopped && e.Step() {
+	}
+	return e.fired - start
+}
+
+// RunUntil fires events with timestamps <= deadline. Events scheduled
+// beyond the deadline stay queued. It returns the number of events fired.
+func (e *Engine) RunUntil(deadline Time) uint64 {
+	start := e.fired
+	e.stopped = false
+	for !e.stopped {
+		if len(e.queue) == 0 || e.queue[0].at > deadline {
+			break
+		}
+		e.Step()
+	}
+	if e.now < deadline && !e.stopped {
+		e.now = deadline
+	}
+	return e.fired - start
+}
+
+// RunLimit fires at most n events, returning the number fired. It is a
+// guard rail for tests that want to bound runaway models.
+func (e *Engine) RunLimit(n uint64) uint64 {
+	start := e.fired
+	e.stopped = false
+	for !e.stopped && e.fired-start < n && e.Step() {
+	}
+	return e.fired - start
+}

@@ -1,0 +1,311 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.Schedule(30*Nanosecond, func(*Engine, Time) { got = append(got, 3) })
+	e.Schedule(10*Nanosecond, func(*Engine, Time) { got = append(got, 1) })
+	e.Schedule(20*Nanosecond, func(*Engine, Time) { got = append(got, 2) })
+	if n := e.Run(); n != 3 {
+		t.Fatalf("Run fired %d events, want 3", n)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("events fired out of order: %v", got)
+	}
+	if e.Now() != Time(30*Nanosecond) {
+		t.Fatalf("clock = %v, want 30ns", e.Now())
+	}
+}
+
+func TestTieBreakIsScheduleOrder(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5*Nanosecond, func(*Engine, Time) { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("tie-break violated at %d: %v", i, got)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var ticks []Time
+	var tick Handler
+	tick = func(e *Engine, now Time) {
+		ticks = append(ticks, now)
+		if len(ticks) < 5 {
+			e.Schedule(7*Nanosecond, tick)
+		}
+	}
+	e.Schedule(0, tick)
+	e.Run()
+	if len(ticks) != 5 {
+		t.Fatalf("got %d ticks, want 5", len(ticks))
+	}
+	for i, at := range ticks {
+		want := Time(int64(i) * 7 * int64(Nanosecond))
+		if at != want {
+			t.Fatalf("tick %d at %v, want %v", i, at, want)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	id := e.Schedule(10*Nanosecond, func(*Engine, Time) { fired = true })
+	if !e.Cancel(id) {
+		t.Fatal("Cancel returned false for a pending event")
+	}
+	if e.Cancel(id) {
+		t.Fatal("second Cancel should return false")
+	}
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestCancelAfterFire(t *testing.T) {
+	e := NewEngine()
+	id := e.Schedule(1*Nanosecond, func(*Engine, Time) {})
+	e.Run()
+	if e.Cancel(id) {
+		t.Fatal("Cancel after fire should return false")
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 0; i < 10; i++ {
+		e.Schedule(Duration(i)*Nanosecond, func(e *Engine, _ Time) {
+			count++
+			if count == 4 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	if count != 4 {
+		t.Fatalf("fired %d events before stop, want 4", count)
+	}
+	if e.Pending() != 6 {
+		t.Fatalf("pending = %d, want 6", e.Pending())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	for i := 1; i <= 10; i++ {
+		e.Schedule(Duration(i)*Microsecond, func(_ *Engine, now Time) { fired = append(fired, now) })
+	}
+	n := e.RunUntil(Time(5 * Microsecond))
+	if n != 5 {
+		t.Fatalf("RunUntil fired %d, want 5", n)
+	}
+	if e.Now() != Time(5*Microsecond) {
+		t.Fatalf("clock = %v, want 5us", e.Now())
+	}
+	if e.Pending() != 5 {
+		t.Fatalf("pending = %d, want 5", e.Pending())
+	}
+	// RunUntil advances the clock to the deadline even with no event there.
+	e.RunUntil(Time(7500 * Nanosecond))
+	if e.Now() != Time(7500*Nanosecond) {
+		t.Fatalf("clock = %v, want 7.5us", e.Now())
+	}
+}
+
+func TestRunLimit(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 100; i++ {
+		e.Schedule(Duration(i), func(*Engine, Time) {})
+	}
+	if n := e.RunLimit(17); n != 17 {
+		t.Fatalf("RunLimit fired %d, want 17", n)
+	}
+}
+
+func TestScheduleAtPast(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10*Nanosecond, func(*Engine, Time) {})
+	e.Run()
+	if _, err := e.ScheduleAt(Time(5*Nanosecond), func(*Engine, Time) {}); err == nil {
+		t.Fatal("ScheduleAt in the past should error")
+	}
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative delay did not panic")
+		}
+	}()
+	NewEngine().Schedule(-1, func(*Engine, Time) {})
+}
+
+// Property: any batch of randomly timed events fires in nondecreasing
+// time order, and same-time events fire in schedule order.
+func TestPropertyEventOrdering(t *testing.T) {
+	f := func(delays []uint16) bool {
+		if len(delays) == 0 {
+			return true
+		}
+		e := NewEngine()
+		type firing struct {
+			at  Time
+			seq int
+		}
+		var fired []firing
+		for i, d := range delays {
+			i := i
+			e.Schedule(Duration(d)*Nanosecond, func(_ *Engine, now Time) {
+				fired = append(fired, firing{now, i})
+			})
+		}
+		e.Run()
+		if len(fired) != len(delays) {
+			return false
+		}
+		if !sort.SliceIsSorted(fired, func(i, j int) bool {
+			if fired[i].at != fired[j].at {
+				return fired[i].at < fired[j].at
+			}
+			return fired[i].seq < fired[j].seq
+		}) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: cancelling a random subset leaves exactly the complement firing.
+func TestPropertyCancelSubset(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		e := NewEngine()
+		n := 1 + rng.Intn(64)
+		firedSet := make(map[int]bool)
+		ids := make([]EventID, n)
+		for i := 0; i < n; i++ {
+			i := i
+			ids[i] = e.Schedule(Duration(rng.Intn(1000))*Nanosecond, func(*Engine, Time) { firedSet[i] = true })
+		}
+		cancelled := make(map[int]bool)
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				e.Cancel(ids[i])
+				cancelled[i] = true
+			}
+		}
+		e.Run()
+		for i := 0; i < n; i++ {
+			if cancelled[i] && firedSet[i] {
+				t.Fatalf("trial %d: cancelled event %d fired", trial, i)
+			}
+			if !cancelled[i] && !firedSet[i] {
+				t.Fatalf("trial %d: live event %d did not fire", trial, i)
+			}
+		}
+	}
+}
+
+func TestDurationString(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{0, "0"},
+		{500, "500ps"},
+		{2 * Nanosecond, "2.000ns"},
+		{Duration(61680), "61.680ns"},
+		{3 * Microsecond, "3.000us"},
+		{Second, "1s"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(c.d), got, c.want)
+		}
+	}
+}
+
+func TestFromNanos(t *testing.T) {
+	if d := FromNanos(61.68); d != 61680 {
+		t.Fatalf("FromNanos(61.68) = %d ps, want 61680", int64(d))
+	}
+	if d := FromNanos(0.5); d != 500 {
+		t.Fatalf("FromNanos(0.5) = %d ps, want 500", int64(d))
+	}
+}
+
+func TestTimeArithmetic(t *testing.T) {
+	t0 := Time(100 * Nanosecond)
+	t1 := t0.Add(50 * Nanosecond)
+	if t1.Sub(t0) != 50*Nanosecond {
+		t.Fatalf("Sub = %v, want 50ns", t1.Sub(t0))
+	}
+	if t1.Nanoseconds() != 150 {
+		t.Fatalf("Nanoseconds = %v, want 150", t1.Nanoseconds())
+	}
+}
+
+func TestScheduleLabeled(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.ScheduleLabeled(5*Nanosecond, "pcie-return", func(*Engine, Time) { fired = true })
+	e.Run()
+	if !fired {
+		t.Fatal("labeled event did not fire")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative labeled delay did not panic")
+		}
+	}()
+	e.ScheduleLabeled(-1, "bad", func(*Engine, Time) {})
+}
+
+func TestFiredAndPendingCounters(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 5; i++ {
+		e.Schedule(Duration(i)*Nanosecond, func(*Engine, Time) {})
+	}
+	if e.Pending() != 5 || e.Fired() != 0 {
+		t.Fatalf("pending=%d fired=%d", e.Pending(), e.Fired())
+	}
+	e.Step()
+	e.Step()
+	if e.Pending() != 3 || e.Fired() != 2 {
+		t.Fatalf("after 2 steps: pending=%d fired=%d", e.Pending(), e.Fired())
+	}
+	e.Run()
+	if e.Pending() != 0 || e.Fired() != 5 {
+		t.Fatalf("after run: pending=%d fired=%d", e.Pending(), e.Fired())
+	}
+}
+
+func TestDurationStd(t *testing.T) {
+	if (1500 * Nanosecond).Std().Nanoseconds() != 1500 {
+		t.Fatal("Std conversion wrong")
+	}
+	if Duration(999).Std() != 0 { // sub-nanosecond truncates
+		t.Fatal("sub-ns Std should truncate to zero")
+	}
+}

@@ -1,0 +1,84 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Chart renders one or more numeric series against a shared categorical
+// x-axis as horizontal ASCII bars — enough to eyeball the shape of a
+// bandwidth curve in a terminal or a log file.
+type Chart struct {
+	Title  string
+	Unit   string
+	Series []string
+	points []chartPoint
+	width  int
+}
+
+type chartPoint struct {
+	x      string
+	values []float64
+}
+
+// NewChart creates a chart with the given series names.
+func NewChart(title, unit string, series ...string) *Chart {
+	return &Chart{Title: title, Unit: unit, Series: series, width: 40}
+}
+
+// SetWidth changes the maximum bar width (default 40 characters).
+func (c *Chart) SetWidth(w int) {
+	if w > 0 {
+		c.width = w
+	}
+}
+
+// AddPoint appends one x position with one value per series; missing
+// values render as empty bars.
+func (c *Chart) AddPoint(x string, values ...float64) {
+	vs := make([]float64, len(c.Series))
+	copy(vs, values)
+	c.points = append(c.points, chartPoint{x: x, values: vs})
+}
+
+// String renders the chart.
+func (c *Chart) String() string {
+	var max float64
+	for _, p := range c.points {
+		for _, v := range p.values {
+			if v > max {
+				max = v
+			}
+		}
+	}
+	xw, sw := 1, 1
+	for _, p := range c.points {
+		if len(p.x) > xw {
+			xw = len(p.x)
+		}
+	}
+	for _, s := range c.Series {
+		if len(s) > sw {
+			sw = len(s)
+		}
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	for _, p := range c.points {
+		for i, s := range c.Series {
+			label := ""
+			if i == 0 {
+				label = p.x
+			}
+			bar := 0
+			if max > 0 {
+				bar = int(p.values[i]/max*float64(c.width) + 0.5)
+			}
+			fmt.Fprintf(&b, "%-*s | %-*s %s %.2f%s\n",
+				xw, label, sw, s, strings.Repeat("#", bar), p.values[i], c.Unit)
+		}
+	}
+	return b.String()
+}

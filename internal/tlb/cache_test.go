@@ -1,0 +1,447 @@
+package tlb
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func k(sid uint16, tag uint64) Key { return Key{SID: sid, Tag: tag} }
+
+func e(sid uint16, tag, val uint64) Entry {
+	return Entry{Key: k(sid, tag), Value: val, PageShift: 12}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Name: "z", Sets: 0, Ways: 1, Policy: LRU},
+		{Name: "np2", Sets: 3, Ways: 1, Policy: LRU},
+		{Name: "w", Sets: 4, Ways: 0, Policy: LRU},
+		{Name: "p", Sets: 4, Ways: 1, Policy: PolicyKind(99)},
+	}
+	for _, cfg := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %+v did not panic", cfg)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+	if New(Config{Name: "ok", Sets: 1, Ways: 8, Policy: LFU}).Config().Entries() != 8 {
+		t.Fatal("Entries() wrong")
+	}
+}
+
+func TestLookupInsertHit(t *testing.T) {
+	c := New(Config{Name: "t", Sets: 8, Ways: 2, Policy: LRU})
+	if _, ok := c.Lookup(k(1, 100)); ok {
+		t.Fatal("empty cache hit")
+	}
+	c.Insert(e(1, 100, 0xabc))
+	got, ok := c.Lookup(k(1, 100))
+	if !ok || got.Value != 0xabc {
+		t.Fatalf("lookup after insert: ok=%v v=%#x", ok, got.Value)
+	}
+	s := c.Stats()
+	if s.Lookups != 2 || s.Hits != 1 || s.Misses != 1 || s.Insertions != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestSIDDistinguishesTenants(t *testing.T) {
+	// Two tenants using the same gIOVA page (the paper's multi-tenant
+	// observation) must not alias to the same entry.
+	c := New(Config{Name: "t", Sets: 8, Ways: 4, Policy: LRU})
+	c.Insert(e(1, 0xbbe00, 0x111))
+	c.Insert(e(2, 0xbbe00, 0x222))
+	a, ok1 := c.Lookup(k(1, 0xbbe00))
+	b, ok2 := c.Lookup(k(2, 0xbbe00))
+	if !ok1 || !ok2 || a.Value != 0x111 || b.Value != 0x222 {
+		t.Fatalf("tenant aliasing: %v %v %#x %#x", ok1, ok2, a.Value, b.Value)
+	}
+}
+
+func TestInsertRefreshesInPlace(t *testing.T) {
+	c := New(Config{Name: "t", Sets: 1, Ways: 2, Policy: LRU})
+	c.Insert(e(1, 10, 1))
+	c.Insert(e(1, 10, 2))
+	if c.Len() != 1 {
+		t.Fatalf("duplicate insert grew cache: len=%d", c.Len())
+	}
+	got, _ := c.Lookup(k(1, 10))
+	if got.Value != 2 {
+		t.Fatalf("refresh did not update value: %#x", got.Value)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(Config{Name: "t", Sets: 1, Ways: 2, Policy: LRU})
+	c.Insert(e(1, 1, 0))
+	c.Insert(e(1, 2, 0))
+	c.Lookup(k(1, 1)) // 1 is now MRU
+	c.Insert(e(1, 3, 0))
+	if _, ok := c.Peek(k(1, 2)); ok {
+		t.Fatal("LRU kept the least recently used entry")
+	}
+	if _, ok := c.Peek(k(1, 1)); !ok {
+		t.Fatal("LRU evicted the most recently used entry")
+	}
+}
+
+func TestFIFOEviction(t *testing.T) {
+	c := New(Config{Name: "t", Sets: 1, Ways: 2, Policy: FIFO})
+	c.Insert(e(1, 1, 0))
+	c.Insert(e(1, 2, 0))
+	c.Lookup(k(1, 1)) // does not matter for FIFO
+	c.Insert(e(1, 3, 0))
+	if _, ok := c.Peek(k(1, 1)); ok {
+		t.Fatal("FIFO kept the oldest insertion")
+	}
+}
+
+func TestLFUKeepsHotEntry(t *testing.T) {
+	// The ring-buffer page is accessed ~30x more often than data pages
+	// (§IV-D); LFU must keep it while LRU may not.
+	c := New(Config{Name: "t", Sets: 1, Ways: 2, Policy: LFU})
+	c.Insert(e(1, 0x34800, 0)) // hot page
+	for i := 0; i < 10; i++ {
+		c.Lookup(k(1, 0x34800))
+	}
+	c.Insert(e(1, 0xbbe00, 0)) // cold data page
+	c.Insert(e(1, 0xbfe00, 0)) // evicts: must pick the cold one
+	if _, ok := c.Peek(k(1, 0x34800)); !ok {
+		t.Fatal("LFU evicted the hot entry")
+	}
+	if _, ok := c.Peek(k(1, 0xbbe00)); ok {
+		t.Fatal("LFU kept the cold entry over the hot one")
+	}
+}
+
+func TestLFUSaturationHalvesRow(t *testing.T) {
+	c := New(Config{Name: "t", Sets: 1, Ways: 2, Policy: LFU})
+	c.Insert(e(1, 1, 0)) // freq 1
+	c.Insert(e(1, 2, 0)) // freq 1
+	// Exactly saturate entry 1's counter: 14 hits take it 1 -> 15,
+	// triggering the row halving in the same access.
+	for i := 0; i < 14; i++ {
+		c.Lookup(k(1, 1))
+	}
+	set := c.sets[0]
+	if set[0].freq != lfuMax/2 {
+		t.Fatalf("saturated way freq=%d, want %d", set[0].freq, lfuMax/2)
+	}
+	if set[1].freq != 0 {
+		t.Fatalf("cold way freq=%d, want 0 (halved from 1)", set[1].freq)
+	}
+}
+
+func TestRandomPolicyDeterministicPerSeed(t *testing.T) {
+	run := func(seed int64) []Entry {
+		c := New(Config{Name: "t", Sets: 1, Ways: 4, Policy: Random, Seed: seed})
+		rng := rand.New(rand.NewSource(3))
+		for i := 0; i < 200; i++ {
+			tag := uint64(rng.Intn(16))
+			if _, ok := c.Lookup(k(1, tag)); !ok {
+				c.Insert(e(1, tag, tag))
+			}
+		}
+		return c.Entries()
+	}
+	a, b := run(5), run(5)
+	if len(a) != len(b) {
+		t.Fatalf("same seed diverged: %d vs %d entries", len(a), len(b))
+	}
+	am := map[Key]bool{}
+	for _, x := range a {
+		am[x.Key] = true
+	}
+	for _, x := range b {
+		if !am[x.Key] {
+			t.Fatalf("same seed diverged on %v", x.Key)
+		}
+	}
+}
+
+func TestOracleBeatsLRUOnScan(t *testing.T) {
+	// Cyclic scan over ways+1 keys: LRU gets zero hits, oracle hits.
+	const ways, keys, rounds = 4, 5, 40
+	var seq []Key
+	for r := 0; r < rounds; r++ {
+		for i := 0; i < keys; i++ {
+			seq = append(seq, k(1, uint64(i)))
+		}
+	}
+	run := func(p PolicyKind) Stats {
+		c := New(Config{Name: "t", Sets: 1, Ways: ways, Policy: p})
+		if p == Oracle {
+			c.SetFuture(NewFuture(seq))
+		}
+		for _, key := range seq {
+			if _, ok := c.Lookup(key); !ok {
+				c.Insert(Entry{Key: key})
+			}
+		}
+		return c.Stats()
+	}
+	lru := run(LRU)
+	oracle := run(Oracle)
+	if lru.Hits != 0 {
+		t.Fatalf("LRU on cyclic scan got %d hits, want 0", lru.Hits)
+	}
+	if oracle.Hits == 0 {
+		t.Fatal("oracle got no hits on cyclic scan")
+	}
+	if oracle.Hits <= lru.Hits {
+		t.Fatalf("oracle (%d hits) not better than LRU (%d)", oracle.Hits, lru.Hits)
+	}
+}
+
+// Property: oracle never has more misses than LRU, FIFO, or LFU on any
+// random stream (Belady optimality, per-set).
+func TestPropertyOracleOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 30; trial++ {
+		n := 500
+		seq := make([]Key, n)
+		for i := range seq {
+			seq[i] = k(uint16(rng.Intn(3)), uint64(rng.Intn(20)))
+		}
+		run := func(p PolicyKind) uint64 {
+			c := New(Config{Name: "t", Sets: 2, Ways: 3, Policy: p, Seed: 1})
+			if p == Oracle {
+				c.SetFuture(NewFuture(seq))
+			}
+			for _, key := range seq {
+				if _, ok := c.Lookup(key); !ok {
+					c.Insert(Entry{Key: key})
+				}
+			}
+			return c.Stats().Misses
+		}
+		om := run(Oracle)
+		for _, p := range []PolicyKind{LRU, LFU, FIFO, Random} {
+			if m := run(p); om > m {
+				t.Fatalf("trial %d: oracle misses %d > %s misses %d", trial, om, p, m)
+			}
+		}
+	}
+}
+
+func TestBySIDIndexIsolation(t *testing.T) {
+	// Partitioned cache: different SIDs land in different rows, so a
+	// noisy tenant cannot evict another tenant's entries.
+	c := New(Config{Name: "p", Sets: 8, Ways: 2, Policy: LRU, Index: BySID})
+	c.Insert(e(1, 0xbbe00, 0x111))
+	// SID 2 floods with many distinct tags.
+	for i := 0; i < 100; i++ {
+		c.Insert(e(2, uint64(i), 0))
+	}
+	if _, ok := c.Peek(k(1, 0xbbe00)); !ok {
+		t.Fatal("partitioning failed: tenant 2 evicted tenant 1's entry")
+	}
+}
+
+func TestBySIDGroupsShareRow(t *testing.T) {
+	// SIDs congruent mod Sets share a partition (PTag matches low bits).
+	c := New(Config{Name: "p", Sets: 8, Ways: 1, Policy: LRU, Index: BySID})
+	c.Insert(e(1, 10, 0xa))
+	c.Insert(e(9, 20, 0xb)) // 9 mod 8 == 1: same row, evicts
+	if _, ok := c.Peek(k(1, 10)); ok {
+		t.Fatal("SIDs 1 and 9 should share a row in an 8-set BySID cache")
+	}
+}
+
+func TestByAddressConflict(t *testing.T) {
+	// Conventional indexing: same tag, different tenants -> same set.
+	c := New(Config{Name: "a", Sets: 8, Ways: 1, Policy: LRU, Index: ByAddress})
+	c.Insert(e(1, 0xbbe00, 1))
+	c.Insert(e(2, 0xbbe00, 2)) // same tag, same set, evicts tenant 1
+	if _, ok := c.Peek(k(1, 0xbbe00)); ok {
+		t.Fatal("expected conflict eviction with ByAddress indexing")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := New(Config{Name: "t", Sets: 4, Ways: 2, Policy: LRU})
+	c.Insert(e(1, 5, 0))
+	if !c.Invalidate(k(1, 5)) {
+		t.Fatal("Invalidate missed a present key")
+	}
+	if c.Invalidate(k(1, 5)) {
+		t.Fatal("Invalidate hit an absent key")
+	}
+	if _, ok := c.Peek(k(1, 5)); ok {
+		t.Fatal("entry survived invalidation")
+	}
+}
+
+func TestInvalidateSID(t *testing.T) {
+	c := New(Config{Name: "t", Sets: 4, Ways: 4, Policy: LRU})
+	for i := 0; i < 8; i++ {
+		c.Insert(e(1, uint64(i), 0))
+		c.Insert(e(2, uint64(i), 0))
+	}
+	n := c.InvalidateSID(1)
+	if n != 8 {
+		t.Fatalf("InvalidateSID removed %d, want 8", n)
+	}
+	for _, en := range c.Entries() {
+		if en.Key.SID == 1 {
+			t.Fatal("SID 1 entry survived InvalidateSID")
+		}
+	}
+}
+
+func TestFlushAndLen(t *testing.T) {
+	c := New(Config{Name: "t", Sets: 2, Ways: 2, Policy: LRU})
+	c.Insert(e(1, 0, 0))
+	c.Insert(e(1, 1, 0))
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	c.Flush()
+	if c.Len() != 0 {
+		t.Fatalf("Len after flush = %d", c.Len())
+	}
+}
+
+// Property: the cache never exceeds capacity and a just-inserted key is
+// always immediately findable.
+func TestPropertyCapacityAndInclusion(t *testing.T) {
+	f := func(ops []uint32, policyRaw uint8) bool {
+		policy := PolicyKind(policyRaw % 4) // skip oracle (needs future)
+		c := New(Config{Name: "q", Sets: 4, Ways: 2, Policy: policy, Seed: 9})
+		for _, op := range ops {
+			key := k(uint16(op%5), uint64(op>>3)%32)
+			if _, ok := c.Lookup(key); !ok {
+				c.Insert(Entry{Key: key, Value: uint64(op)})
+				if _, ok := c.Peek(key); !ok {
+					return false
+				}
+			}
+			if c.Len() > c.Config().Entries() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: stats are consistent: lookups = hits + misses, and evictions
+// never exceed insertions.
+func TestPropertyStatsConsistent(t *testing.T) {
+	f := func(ops []uint16) bool {
+		c := New(Config{Name: "q", Sets: 2, Ways: 2, Policy: LFU})
+		for _, op := range ops {
+			key := k(uint16(op%3), uint64(op%17))
+			if _, ok := c.Lookup(key); !ok {
+				c.Insert(Entry{Key: key})
+			}
+		}
+		s := c.Stats()
+		return s.Lookups == s.Hits+s.Misses && s.Evictions <= s.Insertions
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFutureCursor(t *testing.T) {
+	seq := []Key{k(1, 1), k(1, 2), k(1, 1), k(1, 3)}
+	f := NewFuture(seq)
+	if f.Next(k(1, 1)) != 0 {
+		t.Fatalf("Next before observe = %d, want 0", f.Next(k(1, 1)))
+	}
+	f.Observe(k(1, 1))
+	if f.Next(k(1, 1)) != 2 {
+		t.Fatalf("Next after observe = %d, want 2", f.Next(k(1, 1)))
+	}
+	f.Observe(k(1, 1))
+	if f.Next(k(1, 1)) != InfiniteReuse {
+		t.Fatal("exhausted key should report InfiniteReuse")
+	}
+	if f.Next(k(9, 9)) != InfiniteReuse {
+		t.Fatal("unknown key should report InfiniteReuse")
+	}
+	if f.Remaining(k(1, 3)) != 1 {
+		t.Fatalf("Remaining = %d, want 1", f.Remaining(k(1, 3)))
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for _, c := range []struct {
+		in   string
+		want PolicyKind
+	}{{"lru", LRU}, {"LFU", LFU}, {"fifo", FIFO}, {"random", Random}, {"oracle", Oracle}, {"belady", Oracle}} {
+		got, err := ParsePolicy(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("ParsePolicy(%q) = %v, %v", c.in, got, err)
+		}
+	}
+	if _, err := ParsePolicy("bogus"); err == nil {
+		t.Error("ParsePolicy(bogus) should error")
+	}
+}
+
+func TestStatsRates(t *testing.T) {
+	s := Stats{Lookups: 10, Hits: 7, Misses: 3}
+	if s.HitRate() != 0.7 || s.MissRate() != 0.3 {
+		t.Fatalf("rates: %v %v", s.HitRate(), s.MissRate())
+	}
+	var z Stats
+	if z.HitRate() != 0 || z.MissRate() != 0 {
+		t.Fatal("zero-lookup rates should be 0")
+	}
+}
+
+func TestHashedIndexSpreadsTenants(t *testing.T) {
+	// With hashed indexing, the same tag from many tenants spreads over
+	// sets instead of piling into one row.
+	c := New(Config{Name: "h", Sets: 16, Ways: 1, Policy: LRU, Index: Hashed})
+	for sid := uint16(0); sid < 16; sid++ {
+		c.Insert(Entry{Key: Key{SID: sid, Tag: 0x34800}})
+	}
+	// A by-address cache would hold exactly 1 of these (all in one set);
+	// hashing must retain several.
+	if c.Len() < 8 {
+		t.Fatalf("hashed index kept only %d of 16 same-tag entries", c.Len())
+	}
+	byAddr := New(Config{Name: "a", Sets: 16, Ways: 1, Policy: LRU, Index: ByAddress})
+	for sid := uint16(0); sid < 16; sid++ {
+		byAddr.Insert(Entry{Key: Key{SID: sid, Tag: 0x34800}})
+	}
+	if byAddr.Len() != 1 {
+		t.Fatalf("by-address kept %d same-tag entries, want 1", byAddr.Len())
+	}
+}
+
+func TestIndexModeStrings(t *testing.T) {
+	if ByAddress.String() != "by-address" || BySID.String() != "by-sid" || Hashed.String() != "hashed" {
+		t.Fatal("index mode strings wrong")
+	}
+	if IndexMode(9).String() == "" {
+		t.Fatal("unknown mode empty")
+	}
+	if LRU.String() != "LRU" || Oracle.String() != "oracle" || PolicyKind(42).String() == "" {
+		t.Fatal("policy strings wrong")
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	c := New(Config{Name: "t", Sets: 1, Ways: 1, Policy: LRU})
+	c.Insert(e(1, 1, 1))
+	c.Lookup(k(1, 1))
+	c.ResetStats()
+	if s := c.Stats(); s != (Stats{}) {
+		t.Fatalf("stats not reset: %+v", s)
+	}
+	// Contents survive a stats reset.
+	if _, ok := c.Peek(k(1, 1)); !ok {
+		t.Fatal("ResetStats dropped entries")
+	}
+}

@@ -1,0 +1,54 @@
+package tlb
+
+import "math"
+
+// InfiniteReuse is the next-use distance reported for keys that are never
+// accessed again; any finite distance compares smaller.
+const InfiniteReuse = math.MaxUint64
+
+// Future supplies Belady's-MIN replacement with knowledge of the upcoming
+// access stream. It is built from the ideal key sequence a cache will
+// observe; each Lookup pops the key's next scheduled position, so Next
+// always answers "when is this key used again, from now on?".
+//
+// If the simulated stream diverges from the ideal one (dropped packets
+// are retried and re-looked-up), the oracle degrades gracefully: an extra
+// observation consumes one future position, slightly under-estimating the
+// key's reuse distance.
+type Future struct {
+	pos  map[Key][]uint64
+	head map[Key]int
+}
+
+// NewFuture indexes the ideal access sequence.
+func NewFuture(seq []Key) *Future {
+	f := &Future{pos: make(map[Key][]uint64), head: make(map[Key]int)}
+	for i, k := range seq {
+		f.pos[k] = append(f.pos[k], uint64(i))
+	}
+	return f
+}
+
+// Observe consumes the current access to key, advancing its cursor.
+func (f *Future) Observe(key Key) {
+	if f.head[key] < len(f.pos[key]) {
+		f.head[key]++
+	}
+}
+
+// Next returns the stream position of the key's next access, or
+// InfiniteReuse if it is never accessed again.
+func (f *Future) Next(key Key) uint64 {
+	h := f.head[key]
+	p := f.pos[key]
+	if h >= len(p) {
+		return InfiniteReuse
+	}
+	return p[h]
+}
+
+// Remaining reports how many future accesses of key are still scheduled;
+// for tests.
+func (f *Future) Remaining(key Key) int {
+	return len(f.pos[key]) - f.head[key]
+}

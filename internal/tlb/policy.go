@@ -1,0 +1,57 @@
+package tlb
+
+import "fmt"
+
+// PolicyKind selects a replacement policy.
+type PolicyKind uint8
+
+const (
+	// LRU evicts the least recently used way.
+	LRU PolicyKind = iota
+	// LFU evicts the least frequently used way, tracking accesses in a
+	// 4-bit counter per way and halving the whole row when any counter
+	// saturates — the scheme the paper motivates from the single-tenant
+	// access-frequency analysis (§IV-D, §V-C).
+	LFU
+	// FIFO evicts the oldest insertion.
+	FIFO
+	// Random evicts a uniformly random way (deterministic per seed).
+	Random
+	// Oracle evicts the way whose next use lies furthest in the future
+	// (Belady's MIN); it requires future knowledge via SetFuture.
+	Oracle
+)
+
+// String returns the policy's conventional name.
+func (p PolicyKind) String() string {
+	switch p {
+	case LRU:
+		return "LRU"
+	case LFU:
+		return "LFU"
+	case FIFO:
+		return "FIFO"
+	case Random:
+		return "RAND"
+	case Oracle:
+		return "oracle"
+	}
+	return fmt.Sprintf("PolicyKind(%d)", uint8(p))
+}
+
+// ParsePolicy converts a name (as accepted by the CLIs) to a PolicyKind.
+func ParsePolicy(s string) (PolicyKind, error) {
+	switch s {
+	case "lru", "LRU":
+		return LRU, nil
+	case "lfu", "LFU":
+		return LFU, nil
+	case "fifo", "FIFO":
+		return FIFO, nil
+	case "rand", "random", "RAND":
+		return Random, nil
+	case "oracle", "belady", "min":
+		return Oracle, nil
+	}
+	return 0, fmt.Errorf("tlb: unknown policy %q", s)
+}
