@@ -1,0 +1,36 @@
+# Development and CI entry points. `make ci` is the full gate:
+# build + vet + tests + race detector + experiment smoke run.
+
+GO ?= go
+
+.PHONY: all build test race vet bench-quick smoke ci clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The race target doubles as the shared-trace immutability proof:
+# TestSharedTraceConcurrentRuns and the runner pool tests replay shared
+# traces from many goroutines under the race detector.
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# One iteration of the serial-vs-parallel suite comparison.
+bench-quick:
+	$(GO) test -bench 'BenchmarkSuiteQuick$$' -benchtime 1x -run '^$$' .
+
+# CI smoke run: the reduced-scale experiment suite end to end.
+smoke:
+	$(GO) run ./cmd/experiments -quick -out results-smoke
+
+ci: build vet test race smoke
+
+clean:
+	rm -rf results-smoke

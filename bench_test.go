@@ -7,12 +7,14 @@ package hypertrio_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"hypertrio"
 	"hypertrio/internal/experiments"
 	"hypertrio/internal/iommu"
 	"hypertrio/internal/mem"
+	"hypertrio/internal/runner"
 	"hypertrio/internal/sim"
 	"hypertrio/internal/tlb"
 	"hypertrio/internal/trace"
@@ -59,6 +61,57 @@ func BenchmarkExtPartitions(b *testing.B) { benchExperiment(b, "ext-partitions")
 func BenchmarkExtWalkers(b *testing.B)    { benchExperiment(b, "ext-walkers") }
 func BenchmarkExtFiveLevel(b *testing.B)  { benchExperiment(b, "ext-5level") }
 func BenchmarkExtIsolation(b *testing.B)  { benchExperiment(b, "ext-isolation") }
+
+// benchSuite regenerates every registered experiment — the workload of
+// one `cmd/experiments -quick` run — with the given worker count. The
+// shared trace cache is reset each iteration so serial and parallel
+// variants both pay trace construction, making their wall times directly
+// comparable.
+func benchSuite(b *testing.B, workers int) {
+	b.Helper()
+	opts := experiments.Options{Seed: 42, Quick: true, Workers: workers}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		runner.Shared().Reset()
+		for _, e := range experiments.All {
+			tbl, err := e.Run(opts)
+			if err != nil {
+				b.Fatalf("%s: %v", e.ID, err)
+			}
+			if len(tbl.Rows) == 0 {
+				b.Fatalf("%s: no rows", e.ID)
+			}
+		}
+	}
+}
+
+// BenchmarkSuiteQuick is the parallel-vs-serial suite comparison: the
+// full quick experiment suite with one worker (the historical serial
+// execution) versus the GOMAXPROCS worker pool. On an N-core machine the
+// parallel variant's wall time should approach 1/N of the serial one
+// (the sweep is embarrassingly parallel); output is identical either
+// way. Run with:
+//
+//	go test -bench BenchmarkSuiteQuick -benchtime 1x -run '^$' .
+func BenchmarkSuiteQuick(b *testing.B) {
+	b.Run("serial", func(b *testing.B) { benchSuite(b, 1) })
+	b.Run(fmt.Sprintf("parallel-%d", runtime.GOMAXPROCS(0)), func(b *testing.B) { benchSuite(b, 0) })
+}
+
+// BenchmarkSuiteQuickWarmCache measures the steady-state suite with the
+// shared trace cache already populated — the marginal cost of rerunning
+// every experiment when no trace needs rebuilding.
+func BenchmarkSuiteQuickWarmCache(b *testing.B) {
+	opts := experiments.Options{Seed: 42, Quick: true}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, e := range experiments.All {
+			if _, err := e.Run(opts); err != nil {
+				b.Fatalf("%s: %v", e.ID, err)
+			}
+		}
+	}
+}
 
 // BenchmarkEndToEnd measures one full simulation (trace replay including
 // page-table construction) for both designs at a hyper-tenant count,

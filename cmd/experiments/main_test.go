@@ -9,7 +9,7 @@ import (
 
 func TestRunSubset(t *testing.T) {
 	dir := t.TempDir()
-	if err := run(dir, "table2,fig8a", true, 42); err != nil {
+	if err := run(dir, "table2,fig8a", true, 42, 1); err != nil {
 		t.Fatal(err)
 	}
 	for _, want := range []string{"table2.txt", "table2.csv", "fig8a.txt", "fig8a.csv", "INDEX.txt"} {
@@ -27,13 +27,36 @@ func TestRunSubset(t *testing.T) {
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run(t.TempDir(), "fig99", true, 1); err == nil {
+	dir := filepath.Join(t.TempDir(), "out")
+	err := run(dir, "fig99", true, 1, 1)
+	if err == nil {
 		t.Fatal("unknown experiment accepted")
+	}
+	if !strings.Contains(err.Error(), `"fig99"`) {
+		t.Errorf("error does not name the unknown ID: %v", err)
+	}
+	if !strings.Contains(err.Error(), "fig10") || !strings.Contains(err.Error(), "ext-isolation") {
+		t.Errorf("error does not list the valid IDs: %v", err)
+	}
+	if _, statErr := os.Stat(dir); !os.IsNotExist(statErr) {
+		t.Errorf("output directory was created before validation failed")
+	}
+}
+
+func TestRunUnknownExperimentsAllReported(t *testing.T) {
+	err := run(t.TempDir(), "fig99, nope ,table2", true, 1, 1)
+	if err == nil {
+		t.Fatal("unknown experiments accepted")
+	}
+	for _, want := range []string{`"fig99"`, `"nope"`} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %v does not report %s", err, want)
+		}
 	}
 }
 
 func TestRunUnwritableDir(t *testing.T) {
-	if err := run("/proc/definitely/not/writable", "table2", true, 1); err == nil {
+	if err := run("/proc/definitely/not/writable", "table2", true, 1, 1); err == nil {
 		t.Fatal("unwritable dir accepted")
 	}
 }

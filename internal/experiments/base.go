@@ -16,23 +16,26 @@ import (
 // 64-entry 8-way DevTLB, a 1024-entry 8-way variant, and a 64-entry
 // fully-associative one), on the mediastream workload at 200 Gb/s.
 func Figure9(o Options) (*stats.Table, error) {
-	t := stats.NewTable("Fig. 9: modeled bandwidth vs connections per DevTLB configuration (mediastream, Gb/s)",
-		"connections", "64e 8-way", "1024e 8-way", "64e full-assoc")
+	geoms := []struct{ sets, ways int }{{8, 8}, {128, 8}, {1, 64}}
+	sw := newSweep(o)
 	for _, n := range tenantSweep(o) {
-		tr, err := buildTrace(workload.Mediastream, n, trace.RR1, o)
-		if err != nil {
-			return nil, err
-		}
-		row := []string{itoa(n)}
-		for _, geom := range []struct{ sets, ways int }{{8, 8}, {128, 8}, {1, 64}} {
+		for _, geom := range geoms {
 			cfg := core.BaseConfig()
 			cfg.DevTLB.Sets = geom.sets
 			cfg.DevTLB.Ways = geom.ways
-			r, err := simulate(cfg, tr)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, gbps(r))
+			sw.sim(cfg, workload.Mediastream, n, trace.RR1)
+		}
+	}
+	res, err := sw.run()
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("Fig. 9: modeled bandwidth vs connections per DevTLB configuration (mediastream, Gb/s)",
+		"connections", "64e 8-way", "1024e 8-way", "64e full-assoc")
+	for _, n := range tenantSweep(o) {
+		row := []string{itoa(n)}
+		for range geoms {
+			row = append(row, gbps(res.next()))
 		}
 		t.AddRow(row...)
 	}
@@ -44,27 +47,27 @@ func Figure9(o Options) (*stats.Table, error) {
 // tenant counts but not the hyper-tenant regime.
 func Figure11a(o Options) (*stats.Table, error) {
 	ivs := []trace.Interleave{trace.RR1, trace.RR4, trace.RAND1}
+	sw := newSweep(o)
+	for _, kind := range workload.Kinds {
+		for _, iv := range ivs {
+			for _, n := range tenantSweep(o) {
+				sw.sim(core.BaseConfig(), kind, n, iv)
+				big := core.BaseConfig()
+				big.DevTLB.Sets = 128 // 1024 entries at 8 ways
+				sw.sim(big, kind, n, iv)
+			}
+		}
+	}
+	res, err := sw.run()
+	if err != nil {
+		return nil, err
+	}
 	t := stats.NewTable("Fig. 11a: Base design bandwidth with 64- vs 1024-entry 8-way DevTLB (Gb/s)",
 		"benchmark", "interleave", "tenants", "64-entry", "1024-entry")
 	for _, kind := range workload.Kinds {
 		for _, iv := range ivs {
 			for _, n := range tenantSweep(o) {
-				tr, err := buildTrace(kind, n, iv, o)
-				if err != nil {
-					return nil, err
-				}
-				small := core.BaseConfig()
-				rs, err := simulate(small, tr)
-				if err != nil {
-					return nil, err
-				}
-				big := core.BaseConfig()
-				big.DevTLB.Sets = 128 // 1024 entries at 8 ways
-				rb, err := simulate(big, tr)
-				if err != nil {
-					return nil, err
-				}
-				t.AddRow(kind.String(), iv.String(), itoa(n), gbps(rs), gbps(rb))
+				t.AddRow(kind.String(), iv.String(), itoa(n), gbps(res.next()), gbps(res.next()))
 			}
 		}
 	}
@@ -77,23 +80,27 @@ func Figure11a(o Options) (*stats.Table, error) {
 // regime.
 func Figure11b(o Options) (*stats.Table, error) {
 	policies := []tlb.PolicyKind{tlb.LRU, tlb.LFU, tlb.Oracle}
+	sw := newSweep(o)
+	for _, kind := range workload.Kinds {
+		for _, n := range tenantSweep(o) {
+			for _, pol := range policies {
+				cfg := core.BaseConfig()
+				cfg.DevTLB.Policy = pol
+				sw.sim(cfg, kind, n, trace.RR1)
+			}
+		}
+	}
+	res, err := sw.run()
+	if err != nil {
+		return nil, err
+	}
 	t := stats.NewTable("Fig. 11b: Base design bandwidth per DevTLB replacement policy (Gb/s)",
 		"benchmark", "tenants", "LRU", "LFU", "oracle")
 	for _, kind := range workload.Kinds {
 		for _, n := range tenantSweep(o) {
-			tr, err := buildTrace(kind, n, trace.RR1, o)
-			if err != nil {
-				return nil, err
-			}
 			row := []string{kind.String(), itoa(n)}
-			for _, pol := range policies {
-				cfg := core.BaseConfig()
-				cfg.DevTLB.Policy = pol
-				r, err := simulate(cfg, tr)
-				if err != nil {
-					return nil, err
-				}
-				row = append(row, gbps(r))
+			for range policies {
+				row = append(row, gbps(res.next()))
 			}
 			t.AddRow(row...)
 		}
@@ -107,32 +114,36 @@ func Figure11b(o Options) (*stats.Table, error) {
 // fully-associative cache cannot keep every tenant's active set resident.
 func Figure11c(o Options) (*stats.Table, error) {
 	sizes := []int{8, 32, 36, 64}
-	t := stats.NewTable("Fig. 11c: fully associative DevTLB with oracle replacement (Gb/s)",
-		"benchmark", "tenants", "8 entries", "32 entries", "36 entries", "64 entries")
 	counts := tenantSweep(o)
 	if !o.Quick {
 		// The interesting range is small tenant counts; cap the sweep so
 		// the fully-associative oracle runs stay tractable.
 		counts = []int{1, 2, 4, 8, 16, 64}
 	}
+	sw := newSweep(o)
 	for _, kind := range workload.Kinds {
 		for _, n := range counts {
-			tr, err := buildTrace(kind, n, trace.RR1, o)
-			if err != nil {
-				return nil, err
-			}
-			row := []string{kind.String(), itoa(n)}
 			for _, size := range sizes {
 				cfg := core.BaseConfig()
 				cfg.DevTLB = tlb.Config{
 					Name: "devtlb", Sets: 1, Ways: size,
 					Policy: tlb.Oracle, Index: tlb.ByAddress,
 				}
-				r, err := simulate(cfg, tr)
-				if err != nil {
-					return nil, err
-				}
-				row = append(row, gbps(r))
+				sw.sim(cfg, kind, n, trace.RR1)
+			}
+		}
+	}
+	res, err := sw.run()
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("Fig. 11c: fully associative DevTLB with oracle replacement (Gb/s)",
+		"benchmark", "tenants", "8 entries", "32 entries", "36 entries", "64 entries")
+	for _, kind := range workload.Kinds {
+		for _, n := range counts {
+			row := []string{kind.String(), itoa(n)}
+			for range sizes {
+				row = append(row, gbps(res.next()))
 			}
 			t.AddRow(row...)
 		}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"hypertrio/internal/core"
+	"hypertrio/internal/runner"
 	"hypertrio/internal/stats"
 	"hypertrio/internal/trace"
 	"hypertrio/internal/workload"
@@ -24,6 +25,11 @@ type Options struct {
 	Seed int64
 	// Quick shrinks tenant counts and trace lengths for CI/benchmarks.
 	Quick bool
+	// Workers is how many goroutines a sweep's simulation cells fan out
+	// across (<= 0 means GOMAXPROCS). Tables are byte-identical for any
+	// worker count; Workers == 1 reproduces the historical serial
+	// execution exactly.
+	Workers int
 }
 
 // DefaultOptions is what cmd/experiments uses.
@@ -107,24 +113,64 @@ func scaleFor(kind workload.Kind, ppt int) float64 {
 	return s
 }
 
-// buildTrace constructs the hyper-tenant trace for one sweep point.
-func buildTrace(kind workload.Kind, tenants int, iv trace.Interleave, o Options) (*trace.Trace, error) {
-	return trace.Construct(trace.Config{
+// traceConfig describes the canonical trace for one sweep point; the
+// shared runner cache constructs each distinct config at most once per
+// process, so experiments that sweep overlapping points share traces.
+func traceConfig(kind workload.Kind, tenants int, iv trace.Interleave, o Options) trace.Config {
+	return trace.Config{
 		Benchmark:  kind,
 		Tenants:    tenants,
 		Interleave: iv,
 		Seed:       o.Seed,
 		Scale:      scaleFor(kind, packetsPerTenant(tenants, o)),
-	})
+	}
 }
 
-// simulate runs one configuration against one trace.
-func simulate(cfg core.Config, tr *trace.Trace) (core.Result, error) {
-	sys, err := core.NewSystem(cfg, tr)
+// sweep is the declarative cell-submission API the experiment functions
+// are written against: queue every (config, trace) cell of a sweep up
+// front, run them through the worker pool, then assemble table rows from
+// the ordered results. Submission order equals result order, so the
+// rendered tables are byte-identical for any worker count.
+type sweep struct {
+	o     Options
+	cells []runner.Cell
+}
+
+func newSweep(o Options) *sweep { return &sweep{o: o} }
+
+// sim queues one simulation of cfg over the canonical trace for
+// (kind, tenants, iv).
+func (s *sweep) sim(cfg core.Config, kind workload.Kind, tenants int, iv trace.Interleave) {
+	s.simTrace(cfg, traceConfig(kind, tenants, iv, s.o))
+}
+
+// simTrace queues one simulation of cfg over an explicit trace config
+// (used by the profile-override studies).
+func (s *sweep) simTrace(cfg core.Config, tc trace.Config) {
+	s.cells = append(s.cells, runner.Cell{Config: cfg, TraceConfig: tc})
+}
+
+// run executes the queued cells and returns a cursor over the results in
+// submission order.
+func (s *sweep) run() (*results, error) {
+	rs, err := runner.Pool{Workers: s.o.Workers}.Run(s.cells)
 	if err != nil {
-		return core.Result{}, err
+		return nil, err
 	}
-	return sys.Run()
+	return &results{rs: rs}, nil
+}
+
+// results replays a sweep's outcomes in submission order: the assembly
+// pass calls next exactly once per queued cell, mirroring its loops.
+type results struct {
+	rs []core.Result
+	i  int
+}
+
+func (r *results) next() core.Result {
+	res := r.rs[r.i]
+	r.i++
+	return res
 }
 
 // gbps formats a bandwidth cell.

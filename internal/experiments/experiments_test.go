@@ -194,6 +194,35 @@ func TestExtWalkersMonotone(t *testing.T) {
 	}
 }
 
+// TestWorkerCountDeterminism is the golden determinism check: the
+// rendered table of a serial run (Workers=1, the historical behaviour)
+// must be byte-identical to a parallel run (Workers=8) of the same
+// experiment. fig10 covers the canonical sweep path, fig5 the
+// profile-override trace path.
+func TestWorkerCountDeterminism(t *testing.T) {
+	for _, id := range []string{"fig10", "fig5"} {
+		e, ok := Lookup(id)
+		if !ok {
+			t.Fatalf("unknown experiment %q", id)
+		}
+		serial, err := e.Run(Options{Seed: 42, Quick: true, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		parallel, err := e.Run(Options{Seed: 42, Quick: true, Workers: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if serial.String() != parallel.String() {
+			t.Errorf("%s: Workers=1 and Workers=8 text output differ:\n--- serial ---\n%s--- parallel ---\n%s",
+				id, serial.String(), parallel.String())
+		}
+		if serial.CSV() != parallel.CSV() {
+			t.Errorf("%s: Workers=1 and Workers=8 CSV output differ", id)
+		}
+	}
+}
+
 func TestActiveSetNote(t *testing.T) {
 	if activeSetNote() != "active sets: iperf3=8 mediastream=32 websearch=36" {
 		t.Fatalf("unexpected: %s", activeSetNote())

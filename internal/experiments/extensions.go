@@ -25,14 +25,8 @@ func ExtPartitions(o Options) (*stats.Table, error) {
 	if o.Quick {
 		counts = []int{8, 64}
 	}
-	t := stats.NewTable("Extension: DevTLB partition-count sweep at 64 entries (websearch, PTB=1, no prefetch, Gb/s)",
-		"tenants", "p=1", "p=2", "p=4", "p=8", "p=16", "p=32", "p=64")
+	sw := newSweep(o)
 	for _, n := range counts {
-		tr, err := buildTrace(workload.Websearch, n, trace.RR1, o)
-		if err != nil {
-			return nil, err
-		}
-		row := []string{itoa(n)}
 		for _, p := range parts {
 			// PTB=1 keeps the DevTLB on the critical path: with a deep
 			// PTB, out-of-order completion hides the differences this
@@ -42,11 +36,19 @@ func ExtPartitions(o Options) (*stats.Table, error) {
 			cfg.PTBEntries = 1
 			cfg.DevTLB.Sets = p
 			cfg.DevTLB.Ways = 64 / p
-			r, err := simulate(cfg, tr)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, gbps(r))
+			sw.sim(cfg, workload.Websearch, n, trace.RR1)
+		}
+	}
+	res, err := sw.run()
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("Extension: DevTLB partition-count sweep at 64 entries (websearch, PTB=1, no prefetch, Gb/s)",
+		"tenants", "p=1", "p=2", "p=4", "p=8", "p=16", "p=32", "p=64")
+	for _, n := range counts {
+		row := []string{itoa(n)}
+		for range parts {
+			row = append(row, gbps(res.next()))
 		}
 		t.AddRow(row...)
 	}
@@ -62,20 +64,21 @@ func ExtWalkers(o Options) (*stats.Table, error) {
 	if o.Quick {
 		n = 64
 	}
-	t := stats.NewTable(
-		fmt.Sprintf("Extension: IOMMU walker-concurrency sweep (websearch, %d tenants, full HyperTRIO, Gb/s)", n),
-		"walkers", "bandwidth", "utilization", "avg translation latency")
-	tr, err := buildTrace(workload.Websearch, n, trace.RR1, o)
-	if err != nil {
-		return nil, err
-	}
+	sw := newSweep(o)
 	for _, w := range walkers {
 		cfg := core.HyperTRIOConfig()
 		cfg.IOMMUWalkers = w
-		r, err := simulate(cfg, tr)
-		if err != nil {
-			return nil, err
-		}
+		sw.sim(cfg, workload.Websearch, n, trace.RR1)
+	}
+	res, err := sw.run()
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable(
+		fmt.Sprintf("Extension: IOMMU walker-concurrency sweep (websearch, %d tenants, full HyperTRIO, Gb/s)", n),
+		"walkers", "bandwidth", "utilization", "avg translation latency")
+	for _, w := range walkers {
+		r := res.next()
 		label := itoa(w)
 		if w == 0 {
 			label = "unlimited"
@@ -94,23 +97,29 @@ func ExtFiveLevel(o Options) (*stats.Table, error) {
 	if o.Quick {
 		counts = []int{16, 64}
 	}
+	designs := []func() core.Config{core.BaseConfig, core.HyperTRIOConfig}
+	levelses := []int{4, 5}
+	sw := newSweep(o)
+	for _, n := range counts {
+		for _, design := range designs {
+			for _, levels := range levelses {
+				cfg := design()
+				cfg.PageTableLevels = levels
+				sw.sim(cfg, workload.Iperf3, n, trace.RR1)
+			}
+		}
+	}
+	res, err := sw.run()
+	if err != nil {
+		return nil, err
+	}
 	t := stats.NewTable("Extension: 4- vs 5-level page tables (iperf3, RR1, Gb/s)",
 		"tenants", "Base 4-level", "Base 5-level", "HyperTRIO 4-level", "HyperTRIO 5-level")
 	for _, n := range counts {
-		tr, err := buildTrace(workload.Iperf3, n, trace.RR1, o)
-		if err != nil {
-			return nil, err
-		}
 		row := []string{itoa(n)}
-		for _, design := range []func() core.Config{core.BaseConfig, core.HyperTRIOConfig} {
-			for _, levels := range []int{4, 5} {
-				cfg := design()
-				cfg.PageTableLevels = levels
-				r, err := simulate(cfg, tr)
-				if err != nil {
-					return nil, err
-				}
-				row = append(row, gbps(r))
+		for range designs {
+			for range levelses {
+				row = append(row, gbps(res.next()))
 			}
 		}
 		t.AddRow(row...)
@@ -128,24 +137,22 @@ func ExtIsolation(o Options) (*stats.Table, error) {
 	if o.Quick {
 		counts = []int{8, 32}
 	}
-	t := stats.NewTable("Extension: per-tenant latency fairness, Base vs partitioned (iperf3, RR1)",
-		"tenants", "Base Jain", "part Jain", "Base lat min..max", "part lat min..max")
+	sw := newSweep(o)
 	for _, n := range counts {
-		tr, err := buildTrace(workload.Iperf3, n, trace.RR1, o)
-		if err != nil {
-			return nil, err
-		}
-		base, err := simulate(core.BaseConfig(), tr)
-		if err != nil {
-			return nil, err
-		}
+		sw.sim(core.BaseConfig(), workload.Iperf3, n, trace.RR1)
 		pcfg := core.HyperTRIOConfig()
 		pcfg.PTBEntries = 1
 		pcfg.Prefetch = nil
-		part, err := simulate(pcfg, tr)
-		if err != nil {
-			return nil, err
-		}
+		sw.sim(pcfg, workload.Iperf3, n, trace.RR1)
+	}
+	res, err := sw.run()
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("Extension: per-tenant latency fairness, Base vs partitioned (iperf3, RR1)",
+		"tenants", "Base Jain", "part Jain", "Base lat min..max", "part lat min..max")
+	for _, n := range counts {
+		base, part := res.next(), res.next()
 		t.AddRow(itoa(n),
 			fmt.Sprintf("%.3f", base.LatencyFairness),
 			fmt.Sprintf("%.3f", part.LatencyFairness),

@@ -12,23 +12,25 @@ import (
 // inter-tenant interleavings and tenant counts.
 func Figure10(o Options) (*stats.Table, error) {
 	ivs := []trace.Interleave{trace.RR1, trace.RR4, trace.RAND1}
+	sw := newSweep(o)
+	for _, kind := range workload.Kinds {
+		for _, iv := range ivs {
+			for _, n := range tenantSweep(o) {
+				sw.sim(core.BaseConfig(), kind, n, iv)
+				sw.sim(core.HyperTRIOConfig(), kind, n, iv)
+			}
+		}
+	}
+	res, err := sw.run()
+	if err != nil {
+		return nil, err
+	}
 	t := stats.NewTable("Fig. 10: scalability of I/O bandwidth, HyperTRIO vs Base",
 		"benchmark", "interleave", "tenants", "Base Gb/s", "HyperTRIO Gb/s", "Base util", "HyperTRIO util")
 	for _, kind := range workload.Kinds {
 		for _, iv := range ivs {
 			for _, n := range tenantSweep(o) {
-				tr, err := buildTrace(kind, n, iv, o)
-				if err != nil {
-					return nil, err
-				}
-				rb, err := simulate(core.BaseConfig(), tr)
-				if err != nil {
-					return nil, err
-				}
-				rh, err := simulate(core.HyperTRIOConfig(), tr)
-				if err != nil {
-					return nil, err
-				}
+				rb, rh := res.next(), res.next()
 				t.AddRow(kind.String(), iv.String(), itoa(n),
 					gbps(rb), gbps(rh), util(rb), util(rh))
 			}
@@ -49,23 +51,22 @@ func partitionedOnly() core.Config {
 // Figure12a isolates the partitioning scheme: bandwidth with partitioned
 // DevTLB and page-walk caches but a single PTB entry and no prefetcher.
 func Figure12a(o Options) (*stats.Table, error) {
+	sw := newSweep(o)
+	for _, kind := range workload.Kinds {
+		for _, n := range tenantSweep(o) {
+			sw.sim(core.BaseConfig(), kind, n, trace.RR1)
+			sw.sim(partitionedOnly(), kind, n, trace.RR1)
+		}
+	}
+	res, err := sw.run()
+	if err != nil {
+		return nil, err
+	}
 	t := stats.NewTable("Fig. 12a: effect of DevTLB and L2/L3 TLB partitioning alone (Gb/s)",
 		"benchmark", "tenants", "Base", "partitioned")
 	for _, kind := range workload.Kinds {
 		for _, n := range tenantSweep(o) {
-			tr, err := buildTrace(kind, n, trace.RR1, o)
-			if err != nil {
-				return nil, err
-			}
-			rb, err := simulate(core.BaseConfig(), tr)
-			if err != nil {
-				return nil, err
-			}
-			rp, err := simulate(partitionedOnly(), tr)
-			if err != nil {
-				return nil, err
-			}
-			t.AddRow(kind.String(), itoa(n), gbps(rb), gbps(rp))
+			t.AddRow(kind.String(), itoa(n), gbps(res.next()), gbps(res.next()))
 		}
 	}
 	return t, nil
@@ -76,23 +77,27 @@ func Figure12a(o Options) (*stats.Table, error) {
 // translation latency via out-of-order completion.
 func Figure12b(o Options) (*stats.Table, error) {
 	sizes := []int{1, 8, 32}
+	sw := newSweep(o)
+	for _, kind := range workload.Kinds {
+		for _, n := range tenantSweep(o) {
+			for _, size := range sizes {
+				cfg := partitionedOnly()
+				cfg.PTBEntries = size
+				sw.sim(cfg, kind, n, trace.RR1)
+			}
+		}
+	}
+	res, err := sw.run()
+	if err != nil {
+		return nil, err
+	}
 	t := stats.NewTable("Fig. 12b: effect of Pending Translation Buffer size (partitioned, no prefetch, Gb/s)",
 		"benchmark", "tenants", "PTB=1", "PTB=8", "PTB=32")
 	for _, kind := range workload.Kinds {
 		for _, n := range tenantSweep(o) {
-			tr, err := buildTrace(kind, n, trace.RR1, o)
-			if err != nil {
-				return nil, err
-			}
 			row := []string{kind.String(), itoa(n)}
-			for _, size := range sizes {
-				cfg := partitionedOnly()
-				cfg.PTBEntries = size
-				r, err := simulate(cfg, tr)
-				if err != nil {
-					return nil, err
-				}
-				row = append(row, gbps(r))
+			for range sizes {
+				row = append(row, gbps(res.next()))
 			}
 			t.AddRow(row...)
 		}
@@ -105,24 +110,24 @@ func Figure12b(o Options) (*stats.Table, error) {
 // plus the share of requests served straight from the Prefetch Buffer
 // (the paper reports 45% for websearch at 1024 tenants).
 func Figure12c(o Options) (*stats.Table, error) {
+	sw := newSweep(o)
+	for _, kind := range workload.Kinds {
+		for _, n := range tenantSweep(o) {
+			noPf := core.HyperTRIOConfig()
+			noPf.Prefetch = nil
+			sw.sim(noPf, kind, n, trace.RR1)
+			sw.sim(core.HyperTRIOConfig(), kind, n, trace.RR1)
+		}
+	}
+	res, err := sw.run()
+	if err != nil {
+		return nil, err
+	}
 	t := stats.NewTable("Fig. 12c: contribution of translation prefetching (Gb/s)",
 		"benchmark", "tenants", "PTB+partition", "+prefetch", "gain", "PB served")
 	for _, kind := range workload.Kinds {
 		for _, n := range tenantSweep(o) {
-			tr, err := buildTrace(kind, n, trace.RR1, o)
-			if err != nil {
-				return nil, err
-			}
-			noPf := core.HyperTRIOConfig()
-			noPf.Prefetch = nil
-			rn, err := simulate(noPf, tr)
-			if err != nil {
-				return nil, err
-			}
-			rp, err := simulate(core.HyperTRIOConfig(), tr)
-			if err != nil {
-				return nil, err
-			}
+			rn, rp := res.next(), res.next()
 			gain := 0.0
 			if rn.AchievedGbps > 0 {
 				gain = (rp.AchievedGbps - rn.AchievedGbps) / rn.AchievedGbps

@@ -78,13 +78,8 @@ func Figure4(o Options) (*stats.Table, error) {
 	if o.Quick {
 		counts = []int{64, 96, 120}
 	}
-	t := stats.NewTable("Fig. 4: IOMMU TLB PTE miss rate vs parallel connections (10 Gb/s, iperf3)",
-		"connections", "miss rate", "nested page reads", "translations")
+	sw := newSweep(o)
 	for _, n := range counts {
-		tr, err := buildTrace(workload.Iperf3, n, trace.RR1, o)
-		if err != nil {
-			return nil, err
-		}
 		cfg := core.BaseConfig()
 		cfg.Params.LinkGbps = 10
 		cfg.DevTLB.Sets = 0 // the study counts chipset-side misses
@@ -92,10 +87,16 @@ func Figure4(o Options) (*stats.Table, error) {
 		cfg.IOMMU.IOTLB = tlb.Config{
 			Name: "amd-iotlb", Sets: 128, Ways: 8, Policy: tlb.LRU, Index: tlb.Hashed,
 		}
-		r, err := simulate(cfg, tr)
-		if err != nil {
-			return nil, err
-		}
+		sw.sim(cfg, workload.Iperf3, n, trace.RR1)
+	}
+	res, err := sw.run()
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("Fig. 4: IOMMU TLB PTE miss rate vs parallel connections (10 Gb/s, iperf3)",
+		"connections", "miss rate", "nested page reads", "translations")
+	for _, n := range counts {
+		r := res.next()
 		t.AddRow(itoa(n), stats.Percent(r.IOMMU.IOTLB.MissRate()),
 			stats.Count(r.IOMMU.MemAccesses), stats.Count(r.IOMMU.Translations))
 	}
@@ -117,39 +118,32 @@ func Figure5(o Options) (*stats.Table, error) {
 	}
 	// Goodput -> wire-rate conversion for 1500 B payloads in 1542 B slots.
 	const wirePerGood = 1542.0 / 1500.0
-	t := stats.NewTable("Fig. 5: cumulative goodput vs concurrent connections (10 Gb/s link)",
-		"connections", "host native Gb/s", "VF Gb/s")
 	small := workload.SmallDataVariant(workload.ProfileFor(workload.Iperf3))
+	sw := newSweep(o)
 	for _, n := range counts {
-		tr, err := trace.Construct(trace.Config{
-			Benchmark:  workload.Iperf3,
-			Tenants:    n,
-			Interleave: trace.RR1,
-			Seed:       o.Seed,
-			Scale:      scaleFor(workload.Iperf3, packetsPerTenant(n, o)),
-			Profile:    &small,
-		})
-		if err != nil {
-			return nil, err
-		}
+		tc := traceConfig(workload.Iperf3, n, trace.RR1, o)
+		tc.Profile = &small
 		// Native: no translation, per-connection CPU cap 8.7 Gb/s.
 		native := core.BaseConfig()
 		native.Params.LinkGbps = 10
 		native.Params.ArrivalGbps = capGbps(float64(n)*8.7*wirePerGood, 10)
 		native.TranslationOff = true
-		rn, err := simulate(native, tr)
-		if err != nil {
-			return nil, err
-		}
+		sw.simTrace(native, tc)
 		// VF: translation through a legacy device, cap 6.7 Gb/s.
 		vf := core.BaseConfig()
 		vf.Params.LinkGbps = 10
 		vf.Params.ArrivalGbps = capGbps(float64(n)*6.7*wirePerGood, 10)
 		vf.SerialRequests = true
-		rv, err := simulate(vf, tr)
-		if err != nil {
-			return nil, err
-		}
+		sw.simTrace(vf, tc)
+	}
+	res, err := sw.run()
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("Fig. 5: cumulative goodput vs concurrent connections (10 Gb/s link)",
+		"connections", "host native Gb/s", "VF Gb/s")
+	for _, n := range counts {
+		rn, rv := res.next(), res.next()
 		t.AddRow(itoa(n),
 			stats.Gbps(rn.AchievedGbps/wirePerGood*1e9),
 			stats.Gbps(rv.AchievedGbps/wirePerGood*1e9))

@@ -1,0 +1,179 @@
+package runner
+
+import (
+	"sync"
+	"testing"
+
+	"hypertrio/internal/trace"
+	"hypertrio/internal/workload"
+)
+
+func testTraceConfig() trace.Config {
+	return trace.Config{
+		Benchmark:  workload.Iperf3,
+		Tenants:    4,
+		Interleave: trace.RR1,
+		Seed:       42,
+		Scale:      0.002,
+	}
+}
+
+func TestCacheHitMissAccounting(t *testing.T) {
+	c := NewCache()
+	if s := c.Stats(); s != (CacheStats{}) {
+		t.Fatalf("fresh cache has stats %+v", s)
+	}
+	tr1, err := c.Get(testTraceConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := c.Get(testTraceConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr1 != tr2 {
+		t.Error("identical configs returned distinct traces")
+	}
+	s := c.Stats()
+	if s.Entries != 1 || s.Misses != 1 || s.Hits != 1 {
+		t.Errorf("stats after miss+hit: %+v", s)
+	}
+	if got := s.HitRate(); got != 0.5 {
+		t.Errorf("hit rate = %v, want 0.5", got)
+	}
+}
+
+func TestCacheDistinctKeys(t *testing.T) {
+	c := NewCache()
+	base := testTraceConfig()
+	variants := []trace.Config{base}
+
+	seed := base
+	seed.Seed = 43
+	variants = append(variants, seed)
+
+	scale := base
+	scale.Scale = 0.004
+	variants = append(variants, scale)
+
+	tenants := base
+	tenants.Tenants = 8
+	variants = append(variants, tenants)
+
+	iv := base
+	iv.Interleave = trace.RR4
+	variants = append(variants, iv)
+
+	seen := map[*trace.Trace]bool{}
+	for _, cfg := range variants {
+		tr, err := c.Get(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[tr] {
+			t.Errorf("config %+v shared a trace with a different config", cfg)
+		}
+		seen[tr] = true
+	}
+	s := c.Stats()
+	if s.Entries != len(variants) || s.Misses != uint64(len(variants)) || s.Hits != 0 {
+		t.Errorf("stats after %d distinct configs: %+v", len(variants), s)
+	}
+}
+
+// TestCacheProfileKeyedByValue: the override profile is part of the key
+// by value, so equal profiles in different allocations share one trace
+// and a different profile gets its own.
+func TestCacheProfileKeyedByValue(t *testing.T) {
+	c := NewCache()
+	p1 := workload.SmallDataVariant(workload.ProfileFor(workload.Iperf3))
+	p2 := p1 // same value, distinct address
+	cfg1, cfg2 := testTraceConfig(), testTraceConfig()
+	cfg1.Profile, cfg2.Profile = &p1, &p2
+	tr1, err := c.Get(cfg1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := c.Get(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr1 != tr2 {
+		t.Error("equal override profiles did not share a trace")
+	}
+	noOverride, err := c.Get(testTraceConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noOverride == tr1 {
+		t.Error("override and non-override configs shared a trace")
+	}
+}
+
+func TestCacheErrorMemoized(t *testing.T) {
+	c := NewCache()
+	bad := testTraceConfig()
+	bad.Tenants = 0
+	for i := 0; i < 2; i++ {
+		if _, err := c.Get(bad); err == nil {
+			t.Fatalf("get %d: invalid config accepted", i)
+		}
+	}
+	if s := c.Stats(); s.Misses != 1 || s.Hits != 1 {
+		t.Errorf("error entries not memoized: %+v", c.Stats())
+	}
+}
+
+// TestCacheConcurrentSingleflight: concurrent Gets for one key must
+// construct exactly once and all observe the same trace.
+func TestCacheConcurrentSingleflight(t *testing.T) {
+	c := NewCache()
+	const goroutines = 16
+	traces := make([]*trace.Trace, goroutines)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tr, err := c.Get(testTraceConfig())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			traces[i] = tr
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < goroutines; i++ {
+		if traces[i] != traces[0] {
+			t.Fatalf("goroutine %d saw a different trace", i)
+		}
+	}
+	s := c.Stats()
+	if s.Misses != 1 || s.Hits != goroutines-1 || s.Entries != 1 {
+		t.Errorf("singleflight accounting off: %+v", s)
+	}
+}
+
+func TestCacheReset(t *testing.T) {
+	c := NewCache()
+	if _, err := c.Get(testTraceConfig()); err != nil {
+		t.Fatal(err)
+	}
+	c.Reset()
+	if s := c.Stats(); s != (CacheStats{}) {
+		t.Errorf("stats after reset: %+v", s)
+	}
+	if _, err := c.Get(testTraceConfig()); err != nil {
+		t.Fatal(err)
+	}
+	if s := c.Stats(); s.Misses != 1 || s.Hits != 0 {
+		t.Errorf("reset did not drop entries: %+v", s)
+	}
+}
+
+func TestSharedCacheIsProcessWide(t *testing.T) {
+	if Shared() != Shared() {
+		t.Fatal("Shared() returned distinct caches")
+	}
+}

@@ -1,0 +1,164 @@
+package runner
+
+import (
+	"strings"
+	"testing"
+
+	"hypertrio/internal/core"
+	"hypertrio/internal/tlb"
+	"hypertrio/internal/trace"
+	"hypertrio/internal/workload"
+)
+
+// testCells builds a small heterogeneous sweep: three tenant counts,
+// Base and HyperTRIO each, all through the pool's trace cache.
+func testCells() []Cell {
+	var cells []Cell
+	for _, n := range []int{2, 4, 8} {
+		tc := trace.Config{
+			Benchmark:  workload.Websearch,
+			Tenants:    n,
+			Interleave: trace.RR1,
+			Seed:       42,
+			Scale:      0.002,
+		}
+		cells = append(cells,
+			Cell{Config: core.BaseConfig(), TraceConfig: tc},
+			Cell{Config: core.HyperTRIOConfig(), TraceConfig: tc},
+		)
+	}
+	return cells
+}
+
+func TestPoolEmpty(t *testing.T) {
+	rs, err := Pool{Cache: NewCache()}.Run(nil)
+	if err != nil || rs != nil {
+		t.Fatalf("empty run: %v, %v", rs, err)
+	}
+}
+
+// TestPoolDeterministicAcrossWorkerCounts: any worker count must return
+// the exact same results in the exact same submission order.
+func TestPoolDeterministicAcrossWorkerCounts(t *testing.T) {
+	serial, err := Pool{Workers: 1, Cache: NewCache()}.Run(testCells())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != 6 {
+		t.Fatalf("got %d results, want 6", len(serial))
+	}
+	// Sanity: HyperTRIO beats Base at 8 tenants (cells 4 and 5).
+	if serial[5].AchievedGbps <= serial[4].AchievedGbps {
+		t.Errorf("result order looks scrambled: HyperTRIO %.2f <= Base %.2f",
+			serial[5].AchievedGbps, serial[4].AchievedGbps)
+	}
+	for _, workers := range []int{0, 2, 7, 32} {
+		parallel, err := Pool{Workers: workers, Cache: NewCache()}.Run(testCells())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range serial {
+			if parallel[i] != serial[i] {
+				t.Fatalf("workers=%d: result %d differs from serial run", workers, i)
+			}
+		}
+	}
+}
+
+// TestPoolSharesCachedTraces: cells sweeping the same trace config must
+// construct it once, not once per cell.
+func TestPoolSharesCachedTraces(t *testing.T) {
+	cache := NewCache()
+	if _, err := (Pool{Workers: 4, Cache: cache}).Run(testCells()); err != nil {
+		t.Fatal(err)
+	}
+	s := cache.Stats()
+	if s.Misses != 3 {
+		t.Errorf("built %d traces for 3 distinct configs", s.Misses)
+	}
+	if s.Hits != 3 {
+		t.Errorf("reused %d times, want 3 (one per second design)", s.Hits)
+	}
+}
+
+func TestPoolPrebuiltTrace(t *testing.T) {
+	tr, err := trace.Construct(trace.Config{
+		Benchmark:  workload.Iperf3,
+		Tenants:    2,
+		Interleave: trace.RR1,
+		Seed:       7,
+		Scale:      0.002,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewCache()
+	rs, err := Pool{Workers: 2, Cache: cache}.Run([]Cell{
+		{Config: core.BaseConfig(), Trace: tr},
+		{Config: core.HyperTRIOConfig(), Trace: tr},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 || rs[0].Packets == 0 {
+		t.Fatalf("unexpected results: %+v", rs)
+	}
+	if s := cache.Stats(); s.Misses != 0 {
+		t.Errorf("pre-built traces went through the cache: %+v", s)
+	}
+}
+
+// TestPoolReportsLowestFailingCell: the error must name the first
+// failing cell by submission index, deterministically.
+func TestPoolReportsLowestFailingCell(t *testing.T) {
+	bad := testTraceConfig()
+	bad.Scale = -1
+	cells := testCells()
+	cells[2] = Cell{Config: core.BaseConfig(), TraceConfig: bad}
+	_, err := Pool{Workers: 1, Cache: NewCache()}.Run(cells)
+	if err == nil {
+		t.Fatal("bad cell accepted")
+	}
+	if !strings.Contains(err.Error(), "cell 2") {
+		t.Errorf("error does not name cell 2: %v", err)
+	}
+}
+
+func TestPoolInvalidConfig(t *testing.T) {
+	cfg := core.BaseConfig()
+	cfg.PTBEntries = -1
+	_, err := Pool{Workers: 2, Cache: NewCache()}.Run([]Cell{
+		{Config: cfg, TraceConfig: testTraceConfig()},
+	})
+	if err == nil {
+		t.Fatal("invalid system config accepted")
+	}
+}
+
+// TestPoolOracleCellsShareTrace: oracle replacement precomputes per-cell
+// future state from the shared trace; running several oracle cells over
+// one cached trace concurrently must not interfere (and is exercised
+// under -race by the race CI target).
+func TestPoolOracleCellsShareTrace(t *testing.T) {
+	oracle := core.BaseConfig()
+	oracle.DevTLB.Policy = tlb.Oracle
+	tc := trace.Config{
+		Benchmark:  workload.Mediastream,
+		Tenants:    4,
+		Interleave: trace.RR1,
+		Seed:       42,
+		Scale:      0.002,
+	}
+	cells := []Cell{
+		{Config: oracle, TraceConfig: tc},
+		{Config: oracle, TraceConfig: tc},
+		{Config: oracle, TraceConfig: tc},
+	}
+	rs, err := Pool{Workers: 3, Cache: NewCache()}.Run(cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs[0] != rs[1] || rs[1] != rs[2] {
+		t.Error("identical oracle cells diverged over a shared trace")
+	}
+}

@@ -1,0 +1,80 @@
+package trace_test
+
+import (
+	"sync"
+	"testing"
+
+	"hypertrio/internal/core"
+	"hypertrio/internal/tlb"
+	"hypertrio/internal/trace"
+	"hypertrio/internal/workload"
+)
+
+// TestSharedTraceConcurrentRuns proves the Trace immutability contract:
+// several core.Systems replay one shared *trace.Trace concurrently, and
+// under `go test -race` any write to the trace (its Packets, Stats or
+// embedded workload.Profile) by System.Run would be reported as a data
+// race. The test also checks the trace is bit-identical to a pre-run
+// snapshot and that identical configurations produce identical results,
+// the properties internal/runner's shared trace cache depends on.
+func TestSharedTraceConcurrentRuns(t *testing.T) {
+	tr, err := trace.Construct(trace.Config{
+		Benchmark:  workload.Websearch,
+		Tenants:    16,
+		Interleave: trace.RR1,
+		Seed:       42,
+		Scale:      0.002,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	packets := append([]workload.Packet(nil), tr.Packets...)
+	tenantStats := append([]trace.TenantStat(nil), tr.Stats...)
+	profile := tr.Profile
+
+	// Base, full HyperTRIO, an oracle-replacement DevTLB (which
+	// precomputes the future over the trace), and a duplicate of the
+	// Base config to pin determinism.
+	oracle := core.BaseConfig()
+	oracle.DevTLB.Policy = tlb.Oracle
+	cfgs := []core.Config{core.BaseConfig(), core.HyperTRIOConfig(), oracle, core.BaseConfig()}
+
+	results := make([]core.Result, len(cfgs))
+	var wg sync.WaitGroup
+	for i, cfg := range cfgs {
+		wg.Add(1)
+		go func(i int, cfg core.Config) {
+			defer wg.Done()
+			sys, err := core.NewSystem(cfg, tr)
+			if err != nil {
+				t.Errorf("system %d: %v", i, err)
+				return
+			}
+			results[i], err = sys.Run()
+			if err != nil {
+				t.Errorf("run %d: %v", i, err)
+			}
+		}(i, cfg)
+	}
+	wg.Wait()
+
+	if results[0] != results[3] {
+		t.Errorf("identical configs diverged over a shared trace:\n%+v\n%+v", results[0], results[3])
+	}
+	if tr.Profile != profile {
+		t.Errorf("profile mutated during runs: %+v -> %+v", profile, tr.Profile)
+	}
+	if len(tr.Packets) != len(packets) || len(tr.Stats) != len(tenantStats) {
+		t.Fatalf("trace resized during runs: %d packets, %d stats", len(tr.Packets), len(tr.Stats))
+	}
+	for i := range packets {
+		if tr.Packets[i] != packets[i] {
+			t.Fatalf("packet %d mutated during runs", i)
+		}
+	}
+	for i := range tenantStats {
+		if tr.Stats[i] != tenantStats[i] {
+			t.Fatalf("tenant stat %d mutated during runs", i)
+		}
+	}
+}

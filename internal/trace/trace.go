@@ -81,6 +81,16 @@ type TenantStat struct {
 }
 
 // Trace is a constructed hyper-tenant trace plus its metadata.
+//
+// Immutability contract: a Trace is frozen the moment Construct (or
+// binary decoding) returns. Nothing in this module writes to Packets,
+// Stats or Profile afterwards — core.System treats its trace as strictly
+// read-only, and Profile contains only scalar fields, so copying it by
+// value shares nothing mutable. Any number of concurrent simulations may
+// therefore replay one *Trace; internal/runner's trace cache relies on
+// this to hand a single constructed trace to every worker goroutine
+// that sweeps it (TestSharedTraceConcurrentRuns proves the contract
+// under the race detector).
 type Trace struct {
 	Benchmark  workload.Kind
 	Interleave Interleave
