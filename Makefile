@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench-quick smoke ci clean
+.PHONY: all build test race race-obs vet bench-quick bench-obs smoke ci clean
 
 all: build
 
@@ -19,6 +19,14 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Observability-focused race pass: the obs package and engine-probe
+# tests (including the schema-stability goldens) plus the worker-pool
+# concurrent-sampling test, which shares one *obs.Options across all
+# pool goroutines.
+race-obs:
+	$(GO) test -race ./internal/obs ./internal/sim
+	$(GO) test -race -run TestPoolConcurrentSampling ./internal/runner
+
 vet:
 	$(GO) vet ./...
 
@@ -26,11 +34,16 @@ vet:
 bench-quick:
 	$(GO) test -bench 'BenchmarkSuiteQuick$$' -benchtime 1x -run '^$$' .
 
+# One iteration of the observability-overhead comparison: the quick
+# suite with the layer off versus with per-cell time-series sampling.
+bench-obs:
+	$(GO) test -bench 'BenchmarkSuiteQuickObs' -benchtime 1x -run '^$$' .
+
 # CI smoke run: the reduced-scale experiment suite end to end.
 smoke:
 	$(GO) run ./cmd/experiments -quick -out results-smoke
 
-ci: build vet test race smoke
+ci: build vet test race race-obs smoke
 
 clean:
 	rm -rf results-smoke

@@ -69,7 +69,14 @@ func BenchmarkExtIsolation(b *testing.B)  { benchExperiment(b, "ext-isolation") 
 // comparable.
 func benchSuite(b *testing.B, workers int) {
 	b.Helper()
-	opts := experiments.Options{Seed: 42, Quick: true, Workers: workers}
+	benchSuiteOpts(b, experiments.Options{Seed: 42, Quick: true, Workers: workers})
+}
+
+// benchSuiteOpts is the generic suite driver: it reruns every registered
+// experiment under the given options, resetting the shared trace cache
+// each iteration so all variants pay identical trace-construction cost.
+func benchSuiteOpts(b *testing.B, opts experiments.Options) {
+	b.Helper()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		runner.Shared().Reset()
@@ -111,6 +118,26 @@ func BenchmarkSuiteQuickWarmCache(b *testing.B) {
 			}
 		}
 	}
+}
+
+// BenchmarkSuiteQuickObs quantifies the observability layer's overhead:
+// the quick suite with the layer disabled (metric cells only — the
+// always-on default every other benchmark also pays) versus the same
+// suite with the time-series sampler attached to every simulation cell.
+// The disabled variant must stay within noise of historical
+// BenchmarkSuiteQuick/serial numbers (acceptance bound: < 5%). Run with:
+//
+//	go test -bench BenchmarkSuiteQuickObs -benchtime 1x -run '^$' .
+func BenchmarkSuiteQuickObs(b *testing.B) {
+	b.Run("off", func(b *testing.B) {
+		benchSuiteOpts(b, experiments.Options{Seed: 42, Quick: true, Workers: 1})
+	})
+	b.Run("sampled", func(b *testing.B) {
+		benchSuiteOpts(b, experiments.Options{
+			Seed: 42, Quick: true, Workers: 1,
+			SampleEvery: 10 * sim.Microsecond,
+		})
+	})
 }
 
 // BenchmarkEndToEnd measures one full simulation (trace replay including

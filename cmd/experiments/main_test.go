@@ -9,7 +9,7 @@ import (
 
 func TestRunSubset(t *testing.T) {
 	dir := t.TempDir()
-	if err := run(dir, "table2,fig8a", true, 42, 1); err != nil {
+	if err := run(dir, "table2,fig8a", true, 42, 1, 0); err != nil {
 		t.Fatal(err)
 	}
 	for _, want := range []string{"table2.txt", "table2.csv", "fig8a.txt", "fig8a.csv", "INDEX.txt"} {
@@ -28,7 +28,7 @@ func TestRunSubset(t *testing.T) {
 
 func TestRunUnknownExperiment(t *testing.T) {
 	dir := filepath.Join(t.TempDir(), "out")
-	err := run(dir, "fig99", true, 1, 1)
+	err := run(dir, "fig99", true, 1, 1, 0)
 	if err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
@@ -44,7 +44,7 @@ func TestRunUnknownExperiment(t *testing.T) {
 }
 
 func TestRunUnknownExperimentsAllReported(t *testing.T) {
-	err := run(t.TempDir(), "fig99, nope ,table2", true, 1, 1)
+	err := run(t.TempDir(), "fig99, nope ,table2", true, 1, 1, 0)
 	if err == nil {
 		t.Fatal("unknown experiments accepted")
 	}
@@ -56,7 +56,38 @@ func TestRunUnknownExperimentsAllReported(t *testing.T) {
 }
 
 func TestRunUnwritableDir(t *testing.T) {
-	if err := run("/proc/definitely/not/writable", "table2", true, 1, 1); err == nil {
+	if err := run("/proc/definitely/not/writable", "table2", true, 1, 1, 0); err == nil {
 		t.Fatal("unwritable dir accepted")
+	}
+}
+
+func TestRunWithSampling(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(dir, "fig12b", true, 42, 1, 10); err != nil {
+		t.Fatal(err)
+	}
+	series, err := filepath.Glob(filepath.Join(dir, "series", "fig12b", "cell-*.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) == 0 {
+		t.Fatal("sampling enabled but no per-cell series written")
+	}
+	b, err := os.ReadFile(series[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(b), "t_ps,gbps,ptb_in_use,") {
+		t.Fatalf("series CSV missing header: %q", string(b[:60]))
+	}
+}
+
+func TestRunNegativeSampleRejected(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "out")
+	if err := run(dir, "table2", true, 1, 1, -5); err == nil {
+		t.Fatal("negative sample interval accepted")
+	}
+	if _, statErr := os.Stat(dir); !os.IsNotExist(statErr) {
+		t.Error("output directory was created before validation failed")
 	}
 }

@@ -8,105 +8,201 @@
 //	hypersio -benchmark websearch -tenants 1024 -interleave RR1 -design hypertrio
 //	hypersio -benchmark iperf3 -tenants 64 -design base -devtlb-entries 1024
 //	hypersio -benchmark mediastream -tenants 128 -design hypertrio -ptb 8 -no-prefetch
+//	hypersio -benchmark iperf3 -tenants 64 -trace run.ndjson -metrics run.json
+//
+// Observability: -trace FILE streams model events (arrivals, drops,
+// DevTLB hits/misses, page walks, prefetches) as NDJSON; -trace-engine
+// additionally records every event-kernel schedule/fire/cancel;
+// -metrics FILE writes the final metrics registry snapshot plus the
+// time series sampled every -sample-us of simulated time (JSON, or CSV
+// of the series alone when FILE ends in .csv). Neither changes
+// simulation results.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"hypertrio"
+	"hypertrio/internal/obs"
+	"hypertrio/internal/sim"
 	"hypertrio/internal/stats"
 	"hypertrio/internal/tlb"
 	"hypertrio/internal/trace"
 )
 
-func main() {
-	var (
-		benchmark  = flag.String("benchmark", "iperf3", "workload: iperf3, mediastream, websearch")
-		tenants    = flag.Int("tenants", 64, "number of concurrent tenants")
-		interleave = flag.String("interleave", "RR1", "inter-tenant interleaving: RR1, RR4, RAND1, RR<k>, RAND<k>")
-		design     = flag.String("design", "hypertrio", "hardware design: base or hypertrio")
-		seed       = flag.Int64("seed", 42, "trace construction seed")
-		scale      = flag.Float64("scale", 0.01, "trace scale in (0,1]; 1.0 is paper scale (~70M requests at 1024 tenants)")
-		traceFile  = flag.String("trace", "", "replay a saved .hsio trace instead of constructing one")
+// options carries every flag; keeping them in one struct keeps run
+// testable without a 14-parameter signature.
+type options struct {
+	benchmark  string
+	interleave string
+	design     string
+	policy     string
+	replayFile string
+	tenants    int
+	seed       int64
+	scale      float64
+	linkGbps   float64
+	ptb        int
+	devtlbSize int
+	noPrefetch bool
+	serial     bool
+	verbose    bool
 
-		linkGbps   = flag.Float64("link", 200, "I/O link bandwidth in Gb/s")
-		ptb        = flag.Int("ptb", 0, "override PTB entries (0 = design default)")
-		devtlbSize = flag.Int("devtlb-entries", 0, "override DevTLB entries, 8-way (0 = design default)")
-		policy     = flag.String("policy", "", "override DevTLB replacement policy: lru, lfu, fifo, rand, oracle")
-		noPrefetch = flag.Bool("no-prefetch", false, "disable the Prefetch Unit")
-		serial     = flag.Bool("serial", false, "serialize a packet's translations (legacy device)")
-		verbose    = flag.Bool("v", false, "print per-structure statistics")
-	)
+	traceFile    string // NDJSON event trace output
+	engineEvents bool
+	metricsFile  string // metrics snapshot + time series output
+	sampleUs     int
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.benchmark, "benchmark", "iperf3", "workload: iperf3, mediastream, websearch")
+	flag.IntVar(&o.tenants, "tenants", 64, "number of concurrent tenants")
+	flag.StringVar(&o.interleave, "interleave", "RR1", "inter-tenant interleaving: RR1, RR4, RAND1, RR<k>, RAND<k>")
+	flag.StringVar(&o.design, "design", "hypertrio", "hardware design: base or hypertrio")
+	flag.Int64Var(&o.seed, "seed", 42, "trace construction seed")
+	flag.Float64Var(&o.scale, "scale", 0.01, "trace scale in (0,1]; 1.0 is paper scale (~70M requests at 1024 tenants)")
+	flag.StringVar(&o.replayFile, "replay", "", "replay a saved .hsio trace instead of constructing one")
+
+	flag.Float64Var(&o.linkGbps, "link", 200, "I/O link bandwidth in Gb/s")
+	flag.IntVar(&o.ptb, "ptb", 0, "override PTB entries (0 = design default)")
+	flag.IntVar(&o.devtlbSize, "devtlb-entries", 0, "override DevTLB entries, 8-way (0 = design default)")
+	flag.StringVar(&o.policy, "policy", "", "override DevTLB replacement policy: lru, lfu, fifo, rand, oracle")
+	flag.BoolVar(&o.noPrefetch, "no-prefetch", false, "disable the Prefetch Unit")
+	flag.BoolVar(&o.serial, "serial", false, "serialize a packet's translations (legacy device)")
+	flag.BoolVar(&o.verbose, "v", false, "print per-structure statistics")
+
+	flag.StringVar(&o.traceFile, "trace", "", "write an NDJSON event trace of the run to FILE")
+	flag.BoolVar(&o.engineEvents, "trace-engine", false, "with -trace: also record event-kernel sched/fire/cancel events")
+	flag.StringVar(&o.metricsFile, "metrics", "", "write the metrics snapshot and time series to FILE (.json or .csv)")
+	flag.IntVar(&o.sampleUs, "sample-us", 10, "time-series sample interval in simulated µs (0 disables the series)")
 	flag.Parse()
 
-	if err := run(*benchmark, *interleave, *design, *policy, *traceFile, *tenants, *seed, *scale,
-		*linkGbps, *ptb, *devtlbSize, *noPrefetch, *serial, *verbose); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "hypersio:", err)
 		os.Exit(1)
 	}
 }
 
-func run(benchmark, interleave, design, policy, traceFile string, tenants int, seed int64,
-	scale, linkGbps float64, ptb, devtlbSize int, noPrefetch, serial, verbose bool) error {
-	kind, err := hypertrio.ParseBenchmark(benchmark)
-	if err != nil {
-		return err
+// validate rejects bad inputs before any page table is built or any
+// simulation event fires, so errors are fast and the exit is clean.
+func (o options) validate() error {
+	if o.replayFile == "" {
+		if _, err := hypertrio.ParseBenchmark(o.benchmark); err != nil {
+			return err
+		}
+		if _, err := hypertrio.ParseInterleave(o.interleave); err != nil {
+			return err
+		}
+		if o.tenants <= 0 {
+			return fmt.Errorf("-tenants must be positive, got %d", o.tenants)
+		}
+		if o.scale <= 0 || o.scale > 1 {
+			return fmt.Errorf("-scale must be in (0,1], got %g", o.scale)
+		}
 	}
-	iv, err := hypertrio.ParseInterleave(interleave)
-	if err != nil {
+	if o.design != "base" && o.design != "hypertrio" {
+		return fmt.Errorf("unknown design %q (want base or hypertrio)", o.design)
+	}
+	if o.policy != "" {
+		if _, err := tlb.ParsePolicy(o.policy); err != nil {
+			return err
+		}
+	}
+	if o.linkGbps <= 0 {
+		return fmt.Errorf("-link must be positive, got %g", o.linkGbps)
+	}
+	if o.ptb < 0 {
+		return fmt.Errorf("-ptb must be >= 0, got %d", o.ptb)
+	}
+	if o.devtlbSize < 0 {
+		return fmt.Errorf("-devtlb-entries must be >= 0, got %d", o.devtlbSize)
+	}
+	if o.sampleUs < 0 {
+		return fmt.Errorf("-sample-us must be >= 0, got %d", o.sampleUs)
+	}
+	if o.engineEvents && o.traceFile == "" {
+		return fmt.Errorf("-trace-engine requires -trace FILE")
+	}
+	return nil
+}
+
+func run(o options) error {
+	if err := o.validate(); err != nil {
 		return err
 	}
 	var cfg hypertrio.Config
-	switch design {
+	switch o.design {
 	case "base":
 		cfg = hypertrio.BaseConfig()
 	case "hypertrio":
 		cfg = hypertrio.HyperTRIOConfig()
-	default:
-		return fmt.Errorf("unknown design %q (want base or hypertrio)", design)
 	}
-	cfg.Params.LinkGbps = linkGbps
-	if ptb > 0 {
-		cfg.PTBEntries = ptb
+	cfg.Params.LinkGbps = o.linkGbps
+	if o.ptb > 0 {
+		cfg.PTBEntries = o.ptb
 	}
-	if devtlbSize > 0 {
-		if devtlbSize%cfg.DevTLB.Ways != 0 {
-			return fmt.Errorf("devtlb-entries %d not divisible by %d ways", devtlbSize, cfg.DevTLB.Ways)
+	if o.devtlbSize > 0 {
+		if o.devtlbSize%cfg.DevTLB.Ways != 0 {
+			return fmt.Errorf("devtlb-entries %d not divisible by %d ways", o.devtlbSize, cfg.DevTLB.Ways)
 		}
-		cfg.DevTLB.Sets = devtlbSize / cfg.DevTLB.Ways
+		cfg.DevTLB.Sets = o.devtlbSize / cfg.DevTLB.Ways
 	}
-	if policy != "" {
-		p, err := tlb.ParsePolicy(policy)
+	if o.policy != "" {
+		p, err := tlb.ParsePolicy(o.policy)
 		if err != nil {
 			return err
 		}
 		cfg.DevTLB.Policy = p
 	}
-	if noPrefetch {
+	if o.noPrefetch {
 		cfg.Prefetch = nil
 	}
-	cfg.SerialRequests = serial
+	cfg.SerialRequests = o.serial
+
+	// Observability wiring. The tracer flushes (and its file closes)
+	// whether the run succeeds or fails.
+	obsOpts := &obs.Options{EngineEvents: o.engineEvents}
+	if o.metricsFile != "" && o.sampleUs > 0 {
+		obsOpts.SampleEvery = sim.Duration(o.sampleUs) * sim.Microsecond
+	}
+	if o.traceFile != "" {
+		f, err := os.Create(o.traceFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		obsOpts.Tracer = obs.NewTracer(f)
+		defer obsOpts.Tracer.Flush()
+	}
+	if o.traceFile != "" || obsOpts.SampleEvery > 0 {
+		cfg.Obs = obsOpts
+	}
 
 	var tr *hypertrio.Trace
-	if traceFile != "" {
-		f, err := os.Open(traceFile)
+	var err error
+	if o.replayFile != "" {
+		f, err := os.Open(o.replayFile)
 		if err != nil {
 			return err
 		}
 		tr, err = trace.Read(f)
 		f.Close()
 		if err != nil {
-			return fmt.Errorf("reading %s: %w", traceFile, err)
+			return fmt.Errorf("reading %s: %w", o.replayFile, err)
 		}
 		fmt.Printf("replaying %s: %s trace, %d tenants, %v interleave\n",
-			traceFile, tr.Benchmark, tr.Tenants, tr.Interleave)
+			o.replayFile, tr.Benchmark, tr.Tenants, tr.Interleave)
 	} else {
+		kind, _ := hypertrio.ParseBenchmark(o.benchmark)
+		iv, _ := hypertrio.ParseInterleave(o.interleave)
 		fmt.Printf("constructing %s trace: %d tenants, %v interleave, scale %g...\n",
-			kind, tenants, iv, scale)
+			kind, o.tenants, iv, o.scale)
 		tr, err = hypertrio.ConstructTrace(hypertrio.TraceConfig{
-			Benchmark: kind, Tenants: tenants, Interleave: iv, Seed: seed, Scale: scale,
+			Benchmark: kind, Tenants: o.tenants, Interleave: iv, Seed: o.seed, Scale: o.scale,
 		})
 		if err != nil {
 			return err
@@ -116,11 +212,15 @@ func run(benchmark, interleave, design, policy, traceFile string, tenants int, s
 		len(tr.Packets), tr.Requests(),
 		stats.Count(uint64(tr.MinTenantBudget())), stats.Count(uint64(tr.MaxTenantBudget())))
 
-	res, err := hypertrio.Run(cfg, tr)
+	sys, err := hypertrio.NewSystem(cfg, tr)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("\n%s design: %s\n", design, res)
+	res, err := sys.Run()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\n%s design: %s\n", o.design, res)
 	fmt.Printf("  elapsed (simulated): %v\n", res.Elapsed)
 	fmt.Printf("  drops: %d (%.2f%% of arrival slots)\n", res.Drops, res.DropRate()*100)
 	if !cfg.TranslationOff {
@@ -129,7 +229,7 @@ func run(benchmark, interleave, design, policy, traceFile string, tenants int, s
 			stats.Count(res.Requests),
 			pct(res.DevTLBServed, res.Requests), pct(res.PrefetchServed, res.Requests))
 	}
-	if verbose {
+	if o.verbose {
 		fmt.Printf("\nstructures:\n")
 		fmt.Printf("  DevTLB:        %+v\n", res.DevTLB)
 		fmt.Printf("  PTB:           %+v\n", res.PTB)
@@ -140,7 +240,42 @@ func run(benchmark, interleave, design, policy, traceFile string, tenants int, s
 		fmt.Printf("  L2 PWC:        %+v\n", res.IOMMU.L2PWC)
 		fmt.Printf("  L3 PWC:        %+v\n", res.IOMMU.L3PWC)
 	}
+
+	if o.traceFile != "" {
+		if err := obsOpts.Tracer.Flush(); err != nil {
+			return fmt.Errorf("writing %s: %w", o.traceFile, err)
+		}
+		fmt.Printf("\nwrote %s (%d events)\n", o.traceFile, obsOpts.Tracer.Events())
+	}
+	if o.metricsFile != "" {
+		if err := writeMetrics(o.metricsFile, sys, res); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", o.metricsFile)
+	}
 	return nil
+}
+
+// writeMetrics exports the run's registry snapshot and time series:
+// the full hypertrio-metrics/1 JSON document, or just the series as CSV
+// when the filename asks for it.
+func writeMetrics(path string, sys *hypertrio.System, res hypertrio.Result) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".csv") {
+		if err := res.Series.WriteCSV(f); err != nil {
+			return err
+		}
+	} else {
+		doc := obs.NewMetricsExport(res.Series, sys.Registry().Snapshot())
+		if err := doc.WriteJSON(f); err != nil {
+			return err
+		}
+	}
+	return f.Close()
 }
 
 func pct(num, den uint64) float64 {

@@ -1,14 +1,32 @@
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"hypertrio"
+	"hypertrio/internal/obs"
 	"hypertrio/internal/trace"
 )
+
+// base returns a small, valid option set tests then perturb.
+func base() options {
+	return options{
+		benchmark:  "iperf3",
+		interleave: "RR1",
+		design:     "hypertrio",
+		tenants:    8,
+		seed:       1,
+		scale:      0.002,
+		linkGbps:   200,
+		sampleUs:   10,
+	}
+}
 
 func buildTrace() (*hypertrio.Trace, error) {
 	return hypertrio.ConstructTrace(hypertrio.TraceConfig{
@@ -23,14 +41,23 @@ func buildTrace() (*hypertrio.Trace, error) {
 func writeTrace(w io.Writer, tr *hypertrio.Trace) error { return trace.Write(w, tr) }
 
 func TestRunBasic(t *testing.T) {
-	if err := run("iperf3", "RR1", "hypertrio", "", "", 8, 1, 0.002, 200, 0, 0, false, false, true); err != nil {
+	o := base()
+	o.verbose = true
+	if err := run(o); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunOverrides(t *testing.T) {
 	// Custom PTB, DevTLB size, policy, no prefetch, serial.
-	if err := run("websearch", "RR4", "base", "lru", "", 4, 1, 0.002, 100, 8, 1024, true, true, false); err != nil {
+	o := base()
+	o.benchmark, o.interleave, o.design = "websearch", "RR4", "base"
+	o.policy = "lru"
+	o.tenants = 4
+	o.linkGbps = 100
+	o.ptb, o.devtlbSize = 8, 1024
+	o.noPrefetch, o.serial = true, true
+	if err := run(o); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -38,44 +65,145 @@ func TestRunOverrides(t *testing.T) {
 func TestRunErrors(t *testing.T) {
 	cases := []struct {
 		name string
-		fn   func() error
+		mut  func(*options)
 	}{
-		{"bad benchmark", func() error {
-			return run("nope", "RR1", "base", "", "", 4, 1, 0.002, 200, 0, 0, false, false, false)
-		}},
-		{"bad interleave", func() error {
-			return run("iperf3", "XX", "base", "", "", 4, 1, 0.002, 200, 0, 0, false, false, false)
-		}},
-		{"bad design", func() error {
-			return run("iperf3", "RR1", "fancy", "", "", 4, 1, 0.002, 200, 0, 0, false, false, false)
-		}},
-		{"bad policy", func() error {
-			return run("iperf3", "RR1", "base", "bogus", "", 4, 1, 0.002, 200, 0, 0, false, false, false)
-		}},
-		{"indivisible devtlb", func() error {
-			return run("iperf3", "RR1", "base", "", "", 4, 1, 0.002, 200, 0, 100, false, false, false)
-		}},
-		{"missing trace file", func() error {
-			return run("iperf3", "RR1", "base", "", "/nonexistent.hsio", 4, 1, 0.002, 200, 0, 0, false, false, false)
-		}},
+		{"bad benchmark", func(o *options) { o.benchmark = "nope" }},
+		{"bad interleave", func(o *options) { o.interleave = "XX" }},
+		{"bad design", func(o *options) { o.design = "fancy" }},
+		{"bad policy", func(o *options) { o.policy = "bogus" }},
+		{"zero tenants", func(o *options) { o.tenants = 0 }},
+		{"negative tenants", func(o *options) { o.tenants = -3 }},
+		{"zero scale", func(o *options) { o.scale = 0 }},
+		{"scale above one", func(o *options) { o.scale = 1.5 }},
+		{"negative link", func(o *options) { o.linkGbps = -1 }},
+		{"negative ptb", func(o *options) { o.ptb = -1 }},
+		{"negative devtlb", func(o *options) { o.devtlbSize = -8 }},
+		{"indivisible devtlb", func(o *options) { o.devtlbSize = 100 }},
+		{"negative sample interval", func(o *options) { o.sampleUs = -1 }},
+		{"engine trace without trace file", func(o *options) { o.engineEvents = true }},
+		{"missing replay file", func(o *options) { o.replayFile = "/nonexistent.hsio" }},
 	}
 	for _, c := range cases {
-		if err := c.fn(); err == nil {
+		o := base()
+		c.mut(&o)
+		if err := run(o); err == nil {
 			t.Errorf("%s: expected error", c.name)
 		}
 	}
 }
 
-func TestRunFromTraceFile(t *testing.T) {
+// TestValidationBeforeSimulation checks that input validation fires
+// before any output file is created: a bad tenant count must not leave
+// an empty trace file behind.
+func TestValidationBeforeSimulation(t *testing.T) {
+	o := base()
+	o.tenants = -1
+	o.traceFile = filepath.Join(t.TempDir(), "out.ndjson")
+	if err := run(o); err == nil {
+		t.Fatal("expected error")
+	}
+	if _, err := os.Stat(o.traceFile); !os.IsNotExist(err) {
+		t.Error("trace file created before validation failed")
+	}
+}
+
+func TestRunFromReplayFile(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "t.hsio")
-	// Reuse tracegen's writer via the trace package indirectly: simplest
-	// is to construct and serialize here.
 	if err := writeTestTrace(path); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("iperf3", "RR1", "hypertrio", "", path, 0, 0, 0.5, 200, 0, 0, false, false, false); err != nil {
+	o := base()
+	// Construction inputs are ignored when replaying.
+	o.benchmark, o.tenants, o.scale = "", 0, 0
+	o.replayFile = path
+	if err := run(o); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestTraceAndMetricsOutput runs with every observability flag on and
+// validates both artifacts against their published schemas.
+func TestTraceAndMetricsOutput(t *testing.T) {
+	dir := t.TempDir()
+	o := base()
+	o.traceFile = filepath.Join(dir, "out.ndjson")
+	o.engineEvents = true
+	o.metricsFile = filepath.Join(dir, "out.json")
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+
+	// NDJSON trace: schema header first, every line well-formed, model
+	// and engine events present.
+	f, err := os.Open(o.traceFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	kinds := map[string]int{}
+	first := true
+	for sc.Scan() {
+		var ev obs.Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		if first {
+			if ev.Ev != "schema" || ev.Label != obs.TraceSchema {
+				t.Fatalf("first line is not the schema header: %+v", ev)
+			}
+			first = false
+		}
+		kinds[ev.Ev]++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"arrival", "complete", "walk_start", "walk_end", "sched", "fire"} {
+		if kinds[want] == 0 {
+			t.Errorf("trace has no %q events (kinds: %v)", want, kinds)
+		}
+	}
+
+	// Metrics JSON: schema tag, non-empty series and counters.
+	b, err := os.ReadFile(o.metricsFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc obs.MetricsExport
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Schema != obs.MetricsSchema {
+		t.Fatalf("metrics schema = %q", doc.Schema)
+	}
+	if len(doc.Series) == 0 {
+		t.Fatal("metrics export has no time series")
+	}
+	if doc.Counters["core.packets"] == 0 || doc.Counters["ptb.allocs"] == 0 {
+		t.Fatalf("metrics export missing counters: %v", doc.Counters)
+	}
+}
+
+// TestMetricsCSVOutput checks the .csv spelling of -metrics.
+func TestMetricsCSVOutput(t *testing.T) {
+	o := base()
+	o.metricsFile = filepath.Join(t.TempDir(), "out.csv")
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(o.metricsFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(b)), "\n")
+	if lines[0] != "t_ps,gbps,ptb_in_use,pb_hit_rate,devtlb_hit_rate,walkers_busy,walker_util" {
+		t.Fatalf("csv header = %q", lines[0])
+	}
+	if len(lines) < 2 {
+		t.Fatal("csv has no data rows")
 	}
 }
 

@@ -58,7 +58,23 @@ func main() {
 	}
 }
 
+// validateShape rejects bad generation inputs before any work happens,
+// so the command exits cleanly (non-zero, one-line error) instead of
+// silently producing an empty or partial artifact.
+func validateShape(tenants int, scale float64) error {
+	if tenants <= 0 {
+		return fmt.Errorf("-tenants must be positive, got %d", tenants)
+	}
+	if scale <= 0 || scale > 1 {
+		return fmt.Errorf("-scale must be in (0,1], got %g", scale)
+	}
+	return nil
+}
+
 func generate(benchmark, interleave, out string, tenants int, seed int64, scale float64) error {
+	if err := validateShape(tenants, scale); err != nil {
+		return err
+	}
 	kind, err := hypertrio.ParseBenchmark(benchmark)
 	if err != nil {
 		return err
@@ -94,6 +110,9 @@ func generate(benchmark, interleave, out string, tenants int, seed int64, scale 
 }
 
 func inspectTrace(path string, dump int) error {
+	if dump < 0 {
+		return fmt.Errorf("-dump must be >= 0, got %d", dump)
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -122,6 +141,9 @@ func inspectTrace(path string, dump int) error {
 }
 
 func collectLogs(dir, benchmark string, tenants int, seed int64, scale float64) error {
+	if err := validateShape(tenants, scale); err != nil {
+		return err
+	}
 	kind, err := hypertrio.ParseBenchmark(benchmark)
 	if err != nil {
 		return err
@@ -167,6 +189,9 @@ func collectLogs(dir, benchmark string, tenants int, seed int64, scale float64) 
 }
 
 func mergeLogs(dir, benchmark, interleave, out string, seed int64, scale float64) error {
+	if scale <= 0 || scale > 1 {
+		return fmt.Errorf("-scale must be in (0,1], got %g", scale)
+	}
 	kind, err := hypertrio.ParseBenchmark(benchmark)
 	if err != nil {
 		return err

@@ -77,3 +77,45 @@ func TestMergeErrors(t *testing.T) {
 		t.Error("bad benchmark accepted")
 	}
 }
+
+// TestShapeValidation pins the upfront input validation: degenerate
+// tenant counts, scales and dump lengths must fail cleanly before any
+// file is produced.
+func TestShapeValidation(t *testing.T) {
+	if err := generate("iperf3", "RR1", "", 0, 1, 0.01); err == nil {
+		t.Error("zero tenants accepted")
+	}
+	if err := generate("iperf3", "RR1", "", -4, 1, 0.01); err == nil {
+		t.Error("negative tenants accepted")
+	}
+	if err := generate("iperf3", "RR1", "", 4, 1, 0); err == nil {
+		t.Error("zero scale accepted")
+	}
+	if err := generate("iperf3", "RR1", "", 4, 1, 1.01); err == nil {
+		t.Error("scale > 1 accepted")
+	}
+	dir := t.TempDir()
+	if err := collectLogs(dir, "iperf3", 0, 1, 0.01); err == nil {
+		t.Error("collect with zero tenants accepted")
+	}
+	if entries, _ := os.ReadDir(dir); len(entries) != 0 {
+		t.Error("collect wrote files despite invalid inputs")
+	}
+	if err := mergeLogs(dir, "iperf3", "RR1", "", 1, -0.5); err == nil {
+		t.Error("merge with negative scale accepted")
+	}
+	out := filepath.Join(t.TempDir(), "x.hsio")
+	if err := generate("iperf3", "RR1", out, 0, 1, 0.01); err == nil {
+		t.Error("zero tenants accepted with -o")
+	}
+	if _, err := os.Stat(out); !os.IsNotExist(err) {
+		t.Error("output file created despite invalid inputs")
+	}
+}
+
+func TestInspectNegativeDump(t *testing.T) {
+	if err := inspectTrace("/nonexistent.hsio", -1); err == nil ||
+		!strings.Contains(err.Error(), "-dump") {
+		t.Fatalf("negative dump not rejected upfront: %v", err)
+	}
+}

@@ -108,6 +108,14 @@ func HyperTRIOConfig() Config { return core.HyperTRIOConfig() }
 // statistics.
 type Result = core.Result
 
+// System is one instantiated simulation. Most callers only need Run;
+// NewSystem exposes the System for observability users that want the
+// metrics registry alongside the Result.
+type System = core.System
+
+// NewSystem builds a simulation of cfg over tr without running it.
+func NewSystem(cfg Config, tr *Trace) (*System, error) { return core.NewSystem(cfg, tr) }
+
 // Run replays the trace against the configuration and returns the
 // metrics. Each call builds fresh per-tenant page tables, so runs are
 // independent and deterministic.

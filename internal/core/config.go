@@ -10,6 +10,7 @@ import (
 
 	"hypertrio/internal/device"
 	"hypertrio/internal/iommu"
+	"hypertrio/internal/obs"
 	"hypertrio/internal/sim"
 	"hypertrio/internal/tlb"
 )
@@ -102,6 +103,13 @@ type Config struct {
 	// study structural contention at the IOMMU — a design dimension the
 	// paper's GPU-related work discusses (§VI) but its model leaves open.
 	IOMMUWalkers int
+
+	// Obs attaches the observability layer (internal/obs): model-level
+	// event tracing, optional engine-kernel probing, and periodic
+	// time-series sampling. Nil turns everything off; observability only
+	// reads model state, so simulation outcomes are byte-identical with
+	// it on or off.
+	Obs *obs.Options
 }
 
 // Validate reports configuration errors.

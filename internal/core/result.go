@@ -5,6 +5,7 @@ import (
 
 	"hypertrio/internal/device"
 	"hypertrio/internal/iommu"
+	"hypertrio/internal/obs"
 	"hypertrio/internal/sim"
 	"hypertrio/internal/tlb"
 )
@@ -45,6 +46,11 @@ type Result struct {
 	PTB      device.PTBStats
 	Prefetch device.PrefetchStats
 	IOMMU    iommu.Stats
+
+	// Series is the sampled time series when Config.Obs enabled the
+	// periodic sampler; nil otherwise. It rides on the result so runners
+	// can export per-run CSVs without re-plumbing the System.
+	Series *obs.Series
 }
 
 // PrefetchServedShare is the fraction of all translation requests

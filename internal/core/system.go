@@ -7,6 +7,7 @@ import (
 	"hypertrio/internal/device"
 	"hypertrio/internal/iommu"
 	"hypertrio/internal/mem"
+	"hypertrio/internal/obs"
 	"hypertrio/internal/sim"
 	"hypertrio/internal/tlb"
 	"hypertrio/internal/trace"
@@ -40,17 +41,36 @@ type System struct {
 	walkersBusy int
 	walkQueue   []func(*sim.Engine)
 
-	// Metrics.
-	packets        uint64
-	drops          uint64
-	bytes          uint64
-	requests       uint64
-	devtlbServed   uint64
-	prefetchServed uint64
-	missLatencySum sim.Duration
-	missCount      uint64
+	// Metric cells. The registry (see Registry) names these for export;
+	// Result is a view assembled from the same cells, so there is no
+	// second accounting path to drift out of sync.
+	packets        obs.Counter
+	drops          obs.Counter
+	bytes          obs.Counter
+	requests       obs.Counter
+	devtlbServed   obs.Counter
+	prefetchServed obs.Counter
+	missLatencySum obs.Counter // picoseconds
+	missCount      obs.Counter
+	missHist       obs.Histogram // chipset round-trip latency, ps
 	lastCompletion sim.Time
 	tenantLat      map[mem.SID]*tenantLatency
+
+	// Observability (all zero when Config.Obs is unset; the simulation's
+	// outcome is byte-identical either way).
+	otr         *obs.Tracer
+	registry    *obs.Registry
+	series      *obs.Series
+	sampleEvery sim.Duration
+
+	// Sampler window state: values at the previous sample, so each Point
+	// reports rates over its window rather than cumulative averages.
+	lastSampleAt   sim.Time
+	prevBytes      uint64
+	prevDevHits    uint64
+	prevDevLookups uint64
+	prevPBHits     uint64
+	prevPBLookups  uint64
 }
 
 // tenantLatency aggregates one tenant's packet service times (first
@@ -62,12 +82,14 @@ type tenantLatency struct {
 }
 
 // NewSystem builds per-tenant page tables for every SID in the trace and
-// instantiates the configured hardware.
+// instantiates the configured hardware. A trace with tenants but no
+// packets is legal — an aggressive Scale can round a benchmark down to
+// zero packets — and runs to a zeroed Result.
 func NewSystem(cfg Config, tr *trace.Trace) (*System, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	if tr == nil || len(tr.Packets) == 0 {
+	if tr == nil || tr.Tenants <= 0 {
 		return nil, fmt.Errorf("core: empty trace")
 	}
 	s := &System{
@@ -113,7 +135,53 @@ func NewSystem(cfg Config, tr *trace.Trace) (*System, error) {
 		s.ptb = device.NewPTB(cfg.PTBEntries)
 		s.chipset = iommu.New(cfg.IOMMU, s.ctx, tenants)
 	}
+	if o := cfg.Obs; o != nil {
+		s.otr = o.Tracer
+		if o.EngineEvents && o.Tracer != nil {
+			s.engine.SetProbe(obs.EngineProbe{T: o.Tracer})
+		}
+		s.sampleEvery = o.SampleEvery
+	}
 	return s, nil
+}
+
+// Registry returns the system's metrics registry, building it on first
+// use: every component's counter cells and occupancy gauges published
+// under stable dotted names (core.*, devtlb.*, ptb.*, prefetch.*,
+// iommu.*). The registry is a name directory over the cells the model
+// updates anyway, so calling it costs nothing on the simulation path.
+func (s *System) Registry() *obs.Registry {
+	if s.registry == nil {
+		s.registry = obs.NewRegistry()
+		s.register(s.registry)
+	}
+	return s.registry
+}
+
+func (s *System) register(r *obs.Registry) {
+	r.Counter("core.packets", &s.packets)
+	r.Counter("core.drops", &s.drops)
+	r.Counter("core.bytes", &s.bytes)
+	r.Counter("core.requests", &s.requests)
+	r.Counter("core.devtlb_served", &s.devtlbServed)
+	r.Counter("core.prefetch_served", &s.prefetchServed)
+	r.Counter("core.miss_latency_ps", &s.missLatencySum)
+	r.Counter("core.misses", &s.missCount)
+	r.Histogram("core.miss_latency", &s.missHist)
+	r.Gauge("core.walkers_busy", func() float64 { return float64(s.walkersBusy) })
+	r.Gauge("core.walk_queue", func() float64 { return float64(len(s.walkQueue)) })
+	if s.devtlb != nil {
+		s.devtlb.Register(r, "devtlb")
+	}
+	if s.ptb != nil {
+		s.ptb.Register(r, "ptb")
+	}
+	if s.pu != nil {
+		s.pu.Register(r, "prefetch")
+	}
+	if s.chipset != nil {
+		s.chipset.Register(r, "iommu")
+	}
 }
 
 // flattenKeys produces the DevTLB's ideal lookup sequence for Belady
@@ -132,7 +200,8 @@ func flattenKeys(tr *trace.Trace) []tlb.Key {
 }
 
 // Run replays the whole trace and returns the metrics. It may be called
-// once per System.
+// once per System. A zero-packet trace drains immediately and reports a
+// zeroed Result (no NaN rates, no division by the empty run).
 func (s *System) Run() (Result, error) {
 	if s.engine.Fired() > 0 {
 		return Result{}, fmt.Errorf("core: System.Run called twice")
@@ -141,30 +210,90 @@ func (s *System) Run() (Result, error) {
 	// occupy N link slots and measured bandwidth can never exceed the
 	// offered rate by a fencepost.
 	s.engine.Schedule(s.dt, s.arrival)
+	if s.sampleEvery > 0 {
+		s.series = &obs.Series{Interval: s.sampleEvery}
+		s.engine.ScheduleLabeled(s.sampleEvery, "sample", s.sampleTick)
+	}
 	s.engine.Run()
 	if s.cursor != len(s.tr.Packets) {
 		return Result{}, fmt.Errorf("core: simulation drained with %d of %d packets unprocessed",
 			len(s.tr.Packets)-s.cursor, len(s.tr.Packets))
 	}
+	if s.series != nil {
+		// Close the final partial window so short runs still get a point.
+		if now := s.engine.Now(); now > s.lastSampleAt {
+			s.recordSample(now)
+		}
+	}
 	return s.result(), nil
+}
+
+// sampleTick is the periodic time-series sampler. It only reads model
+// state, so enabling it cannot change simulation outcomes; it
+// reschedules itself only while model events remain pending, so it
+// never keeps a drained engine alive.
+func (s *System) sampleTick(e *sim.Engine, now sim.Time) {
+	s.recordSample(now)
+	if e.Pending() > 0 {
+		e.ScheduleLabeled(s.sampleEvery, "sample", s.sampleTick)
+	}
+}
+
+// recordSample appends one Point covering the window since the previous
+// sample. Rates are windowed deltas, not cumulative averages, so the
+// series shows transients (PTB fill-up, prefetcher warm-up) that the
+// end-of-run Result integrates away.
+func (s *System) recordSample(now sim.Time) {
+	window := now.Sub(s.lastSampleAt)
+	if window <= 0 {
+		return
+	}
+	p := obs.Point{T: int64(now)}
+	bytes := s.bytes.Value()
+	p.Gbps = float64((bytes-s.prevBytes)*8) / window.Seconds() / 1e9
+	s.prevBytes = bytes
+	if s.ptb != nil {
+		p.PTBInUse = s.ptb.InUse()
+	}
+	if s.devtlb != nil {
+		st := s.devtlb.Stats()
+		if dl := st.Lookups - s.prevDevLookups; dl > 0 {
+			p.DevTLBHitRate = float64(st.Hits-s.prevDevHits) / float64(dl)
+		}
+		s.prevDevHits, s.prevDevLookups = st.Hits, st.Lookups
+	}
+	if s.pu != nil {
+		st := s.pu.Stats().Buffer
+		if dl := st.Lookups - s.prevPBLookups; dl > 0 {
+			p.PBHitRate = float64(st.Hits-s.prevPBHits) / float64(dl)
+		}
+		s.prevPBHits, s.prevPBLookups = st.Hits, st.Lookups
+	}
+	p.WalkersBusy = s.walkersBusy
+	if s.cfg.IOMMUWalkers > 0 {
+		p.WalkerUtil = float64(s.walkersBusy) / float64(s.cfg.IOMMUWalkers)
+	}
+	s.series.Points = append(s.series.Points, p)
+	s.lastSampleAt = now
 }
 
 func (s *System) result() Result {
 	r := Result{
-		Packets:        s.packets,
-		Drops:          s.drops,
-		Bytes:          s.bytes,
+		Packets:        s.packets.Value(),
+		Drops:          s.drops.Value(),
+		Bytes:          s.bytes.Value(),
 		Elapsed:        sim.Duration(s.lastCompletion),
-		Requests:       s.requests,
-		DevTLBServed:   s.devtlbServed,
-		PrefetchServed: s.prefetchServed,
+		Requests:       s.requests.Value(),
+		DevTLBServed:   s.devtlbServed.Value(),
+		PrefetchServed: s.prefetchServed.Value(),
+		Series:         s.series,
 	}
 	if s.lastCompletion > 0 {
-		r.AchievedGbps = float64(s.bytes*8) / sim.Duration(s.lastCompletion).Seconds() / 1e9
+		r.AchievedGbps = float64(r.Bytes*8) / sim.Duration(s.lastCompletion).Seconds() / 1e9
 		r.Utilization = r.AchievedGbps / s.cfg.Params.LinkGbps
 	}
-	if s.missCount > 0 {
-		r.AvgMissLatency = s.missLatencySum / sim.Duration(s.missCount)
+	if n := s.missCount.Value(); n > 0 {
+		r.AvgMissLatency = sim.Duration(s.missLatencySum.Value()) / sim.Duration(n)
 	}
 	if len(s.tenantLat) > 0 {
 		// Deterministic order: floating-point accumulation must not
@@ -236,6 +365,15 @@ func (s *System) arrival(e *sim.Engine, now sim.Time) {
 		return // trace consumed; in-flight work drains the engine
 	}
 	pkt := s.tr.Packets[s.cursor]
+	if s.otr != nil {
+		// A slot offered to a packet whose earlier attempt was dropped is
+		// a retry; haveAttempt still holds from that first attempt.
+		ev := "arrival"
+		if s.haveAttempt {
+			ev = "retry"
+		}
+		s.otr.Emit(obs.Event{T: int64(now), Ev: ev, SID: uint16(pkt.SID)})
+	}
 	if !s.haveAttempt {
 		s.firstAttempt, s.haveAttempt = now, true
 	}
@@ -257,7 +395,10 @@ func (s *System) arrival(e *sim.Engine, now sim.Time) {
 	// without a free entry the packet is dropped and the link slot is
 	// lost (the source retries at the next arrival time, §IV-C).
 	if !s.ptb.Alloc() {
-		s.drops++
+		s.drops.Inc()
+		if s.otr != nil {
+			s.otr.Emit(obs.Event{T: int64(now), Ev: "drop", SID: uint16(pkt.SID)})
+		}
 		e.Schedule(s.dt, s.arrival)
 		return
 	}
@@ -272,19 +413,31 @@ func (s *System) arrival(e *sim.Engine, now sim.Time) {
 	ctx := &packetCtx{}
 	var misses [workload.RequestsPerPacket]request
 	for _, rq := range packetRequests(pkt) {
-		s.requests++
+		s.requests.Inc()
 		key := iommu.PageKey(pkt.SID, rq.iova, rq.shift)
 		if s.devtlb != nil {
 			if _, ok := s.devtlb.Lookup(key); ok {
-				s.devtlbServed++
+				s.devtlbServed.Inc()
+				if s.otr != nil {
+					s.otr.Emit(obs.Event{T: int64(now), Ev: "devtlb_hit",
+						SID: uint16(pkt.SID), IOVA: obs.Hex(rq.iova), Shift: rq.shift})
+				}
 				continue
 			}
 		}
 		if s.pu != nil {
 			if _, ok := s.pu.Lookup(key); ok {
-				s.prefetchServed++
+				s.prefetchServed.Inc()
+				if s.otr != nil {
+					s.otr.Emit(obs.Event{T: int64(now), Ev: "prefetch_hit",
+						SID: uint16(pkt.SID), IOVA: obs.Hex(rq.iova), Shift: rq.shift})
+				}
 				continue
 			}
+		}
+		if s.otr != nil {
+			s.otr.Emit(obs.Event{T: int64(now), Ev: "devtlb_miss",
+				SID: uint16(pkt.SID), IOVA: obs.Hex(rq.iova), Shift: rq.shift})
 		}
 		misses[ctx.outstanding] = rq
 		ctx.outstanding++
@@ -293,7 +446,7 @@ func (s *System) arrival(e *sim.Engine, now sim.Time) {
 	if ctx.outstanding == 0 {
 		e.Schedule(s.cfg.Params.TLBHit, func(_ *sim.Engine, done sim.Time) {
 			s.finishPacket(done)
-			s.recordTenantLatency(pkt.SID, done.Sub(started))
+			s.recordTenantLatency(pkt.SID, done, done.Sub(started))
 		})
 	} else {
 		ctx.sid, ctx.started = pkt.SID, started
@@ -317,16 +470,16 @@ func (s *System) acceptNative(e *sim.Engine, now sim.Time, pkt workload.Packet) 
 	s.cursor++
 	s.unmapApplied = false
 	s.haveAttempt = false
-	s.requests += workload.RequestsPerPacket
+	s.requests.Add(workload.RequestsPerPacket)
 	e.Schedule(s.cfg.Params.TLBHit, func(_ *sim.Engine, done sim.Time) {
 		s.finishPacket(done)
-		s.recordTenantLatency(pkt.SID, done.Sub(now))
+		s.recordTenantLatency(pkt.SID, done, done.Sub(now))
 	})
 }
 
 func (s *System) finishPacket(now sim.Time) {
-	s.packets++
-	s.bytes += uint64(s.cfg.Params.PacketBytes)
+	s.packets.Inc()
+	s.bytes.Add(uint64(s.cfg.Params.PacketBytes))
 	if s.ptb != nil && !s.cfg.TranslationOff {
 		s.ptb.Release()
 	}
@@ -383,7 +536,17 @@ func (s *System) startMiss(e *sim.Engine, sid mem.SID, rq request, ctx *packetCt
 			if res.IOTLBHit {
 				lat += s.cfg.Params.TLBHit
 			}
-			e.Schedule(lat, func(e *sim.Engine, _ sim.Time) { s.releaseWalker(e) })
+			if s.otr != nil {
+				s.otr.Emit(obs.Event{T: int64(e.Now()), Ev: "walk_start",
+					SID: uint16(sid), IOVA: obs.Hex(rq.iova), Shift: rq.shift, N: res.MemAccesses})
+			}
+			e.Schedule(lat, func(e *sim.Engine, wnow sim.Time) {
+				if s.otr != nil {
+					s.otr.Emit(obs.Event{T: int64(wnow), Ev: "walk_end",
+						SID: uint16(sid), IOVA: obs.Hex(rq.iova), DurPs: int64(lat)})
+				}
+				s.releaseWalker(e)
+			})
 			e.Schedule(lat+s.cfg.Params.PCIeOneWay, func(_ *sim.Engine, done sim.Time) {
 				if s.devtlb != nil {
 					pageMask := uint64(1)<<rq.shift - 1
@@ -393,8 +556,10 @@ func (s *System) startMiss(e *sim.Engine, sid mem.SID, rq request, ctx *packetCt
 						PageShift: rq.shift,
 					})
 				}
-				s.missLatencySum += done.Sub(issued)
-				s.missCount++
+				d := done.Sub(issued)
+				s.missLatencySum.Add(uint64(d))
+				s.missCount.Inc()
+				s.missHist.Observe(uint64(d))
 				ctx.outstanding--
 				if len(ctx.queue) > 0 {
 					next := ctx.queue[0]
@@ -402,7 +567,7 @@ func (s *System) startMiss(e *sim.Engine, sid mem.SID, rq request, ctx *packetCt
 					s.startMiss(e, sid, next, ctx)
 				} else if ctx.outstanding == 0 {
 					s.finishPacket(done)
-					s.recordTenantLatency(ctx.sid, done.Sub(ctx.started))
+					s.recordTenantLatency(ctx.sid, done, done.Sub(ctx.started))
 				}
 			})
 		})
@@ -417,6 +582,9 @@ func (s *System) maybePrefetch(e *sim.Engine, current mem.SID) {
 		return
 	}
 	triggered := e.Now()
+	if s.otr != nil {
+		s.otr.Emit(obs.Event{T: int64(triggered), Ev: "prefetch_issue", SID: uint16(target)})
+	}
 	p := s.cfg.Params
 	e.Schedule(p.PCIeOneWay, func(e *sim.Engine, _ sim.Time) {
 		// The IOVA history reader claims one walker: it reads the
@@ -425,6 +593,9 @@ func (s *System) maybePrefetch(e *sim.Engine, current mem.SID) {
 		s.acquireWalker(e, func(e *sim.Engine) {
 			recent := s.chipset.History().Recent(target, s.pu.Config().Degree)
 			if len(recent) == 0 {
+				if s.otr != nil {
+					s.otr.Emit(obs.Event{T: int64(e.Now()), Ev: "prefetch_abort", SID: uint16(target)})
+				}
 				s.pu.Abort(target)
 				s.releaseWalker(e)
 				return
@@ -449,6 +620,10 @@ func (s *System) maybePrefetch(e *sim.Engine, current mem.SID) {
 			}
 			e.Schedule(total, func(e *sim.Engine, _ sim.Time) { s.releaseWalker(e) })
 			e.Schedule(total+p.PCIeOneWay, func(_ *sim.Engine, done sim.Time) {
+				if s.otr != nil {
+					s.otr.Emit(obs.Event{T: int64(done), Ev: "prefetch_fill",
+						SID: uint16(target), N: len(entries), DurPs: int64(done.Sub(triggered))})
+				}
 				// Report the observed trigger-to-fill latency in requests
 				// so the host can retune the history-length register.
 				latencyRequests := int(float64(done.Sub(triggered)) / float64(s.dt) * workload.RequestsPerPacket)
@@ -458,9 +633,13 @@ func (s *System) maybePrefetch(e *sim.Engine, current mem.SID) {
 	})
 }
 
-// recordTenantLatency folds one packet's service time into its tenant's
-// aggregate.
-func (s *System) recordTenantLatency(sid mem.SID, d sim.Duration) {
+// recordTenantLatency folds one packet's service time (completing at
+// done) into its tenant's aggregate, and is therefore also the packet
+// completion trace point.
+func (s *System) recordTenantLatency(sid mem.SID, done sim.Time, d sim.Duration) {
+	if s.otr != nil {
+		s.otr.Emit(obs.Event{T: int64(done), Ev: "complete", SID: uint16(sid), DurPs: int64(d)})
+	}
 	tl := s.tenantLat[sid]
 	if tl == nil {
 		tl = &tenantLatency{}

@@ -1,6 +1,9 @@
 package device
 
-import "hypertrio/internal/mem"
+import (
+	"hypertrio/internal/mem"
+	"hypertrio/internal/obs"
+)
 
 // SIDPredictor is the Prefetch Unit's table mapping the currently active
 // Source ID to the SID predicted to be active again soon, plus the
@@ -22,8 +25,8 @@ type SIDPredictor struct {
 
 	historyLen int
 
-	predictions uint64
-	unknowns    uint64
+	predictions obs.Counter
+	unknowns    obs.Counter
 }
 
 // NewSIDPredictor creates a predictor with the given history-length
@@ -90,12 +93,12 @@ func (p *SIDPredictor) Hops() int {
 // returning the SID expected to be active about historyLen requests in
 // the future. ok is false when the chain has a gap (not yet learned).
 func (p *SIDPredictor) Predict(current mem.SID) (mem.SID, bool) {
-	p.predictions++
+	p.predictions.Inc()
 	sid := current
 	for i := 0; i < p.Hops(); i++ {
 		next, ok := p.successor[sid]
 		if !ok {
-			p.unknowns++
+			p.unknowns.Inc()
 			return 0, false
 		}
 		sid = next
@@ -114,9 +117,18 @@ type PredictorStats struct {
 // Stats returns a snapshot of the counters.
 func (p *SIDPredictor) Stats() PredictorStats {
 	return PredictorStats{
-		Predictions: p.predictions,
-		Unknowns:    p.unknowns,
+		Predictions: p.predictions.Value(),
+		Unknowns:    p.unknowns.Value(),
 		Entries:     len(p.successor),
 		BurstEWMA:   p.burstEWMA,
 	}
+}
+
+// Register publishes the predictor's metrics into a registry under prefix.
+func (p *SIDPredictor) Register(r *obs.Registry, prefix string) {
+	r.Counter(prefix+".predictions", &p.predictions)
+	r.Counter(prefix+".unknowns", &p.unknowns)
+	r.Gauge(prefix+".entries", func() float64 { return float64(len(p.successor)) })
+	r.Gauge(prefix+".burst_ewma", func() float64 { return p.burstEWMA })
+	r.Gauge(prefix+".history_len", func() float64 { return float64(p.historyLen) })
 }

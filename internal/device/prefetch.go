@@ -3,6 +3,7 @@ package device
 import (
 	"hypertrio/internal/iommu"
 	"hypertrio/internal/mem"
+	"hypertrio/internal/obs"
 	"hypertrio/internal/tlb"
 )
 
@@ -42,10 +43,10 @@ type PrefetchUnit struct {
 
 	inflight map[mem.SID]bool
 
-	issued     uint64 // prefetch requests sent to the chipset
-	served     uint64 // demand requests answered from the buffer
-	installed  uint64 // translations installed into the buffer
-	suppressed uint64 // prefetches skipped (in flight or already buffered)
+	issued     obs.Counter // prefetch requests sent to the chipset
+	served     obs.Counter // demand requests answered from the buffer
+	installed  obs.Counter // translations installed into the buffer
+	suppressed obs.Counter // prefetches skipped (in flight or already buffered)
 }
 
 // NewPrefetchUnit builds the unit.
@@ -78,7 +79,7 @@ func (u *PrefetchUnit) Predictor() *SIDPredictor { return u.predictor }
 func (u *PrefetchUnit) Lookup(key tlb.Key) (tlb.Entry, bool) {
 	e, ok := u.buffer.Lookup(key)
 	if ok {
-		u.served++
+		u.served.Inc()
 	}
 	return e, ok
 }
@@ -92,11 +93,11 @@ func (u *PrefetchUnit) ShouldPrefetch(current mem.SID) (mem.SID, bool) {
 		return 0, false
 	}
 	if u.inflight[target] {
-		u.suppressed++
+		u.suppressed.Inc()
 		return 0, false
 	}
 	u.inflight[target] = true
-	u.issued++
+	u.issued.Inc()
 	return target, true
 }
 
@@ -114,7 +115,7 @@ func (u *PrefetchUnit) Complete(target mem.SID, entries []tlb.Entry, latencyRequ
 	delete(u.inflight, target)
 	for _, e := range entries {
 		u.buffer.Insert(e)
-		u.installed++
+		u.installed.Inc()
 	}
 	if u.cfg.AdaptiveHistory && latencyRequests > 0 {
 		// EWMA toward the observed latency plus slack.
@@ -146,11 +147,23 @@ type PrefetchStats struct {
 // Stats returns a snapshot of the counters.
 func (u *PrefetchUnit) Stats() PrefetchStats {
 	return PrefetchStats{
-		Issued:     u.issued,
-		Served:     u.served,
-		Installed:  u.installed,
-		Suppressed: u.suppressed,
+		Issued:     u.issued.Value(),
+		Served:     u.served.Value(),
+		Installed:  u.installed.Value(),
+		Suppressed: u.suppressed.Value(),
 		Buffer:     u.buffer.Stats(),
 		Predictor:  u.predictor.Stats(),
 	}
+}
+
+// Register publishes the unit's counters, its buffer's cache traffic
+// and the predictor's metrics into a registry under prefix.
+func (u *PrefetchUnit) Register(r *obs.Registry, prefix string) {
+	r.Counter(prefix+".issued", &u.issued)
+	r.Counter(prefix+".served", &u.served)
+	r.Counter(prefix+".installed", &u.installed)
+	r.Counter(prefix+".suppressed", &u.suppressed)
+	r.Gauge(prefix+".inflight", func() float64 { return float64(len(u.inflight)) })
+	u.buffer.Register(r, prefix+".buffer")
+	u.predictor.Register(r, prefix+".predictor")
 }

@@ -7,7 +7,11 @@
 // these structures from the event kernel and charges latencies.
 package device
 
-import "fmt"
+import (
+	"fmt"
+
+	"hypertrio/internal/obs"
+)
 
 // PTB is the Pending Translation Buffer: a fixed pool of in-flight
 // translation slots. A packet whose first missing translation cannot
@@ -18,8 +22,8 @@ type PTB struct {
 	capacity int
 	inUse    int
 
-	allocs   uint64
-	rejected uint64
+	allocs   obs.Counter
+	rejected obs.Counter
 	peak     int
 }
 
@@ -43,11 +47,11 @@ func (p *PTB) Free() int { return p.capacity - p.inUse }
 // Alloc takes one slot, reporting whether one was available.
 func (p *PTB) Alloc() bool {
 	if p.inUse >= p.capacity {
-		p.rejected++
+		p.rejected.Inc()
 		return false
 	}
 	p.inUse++
-	p.allocs++
+	p.allocs.Inc()
 	if p.inUse > p.peak {
 		p.peak = p.inUse
 	}
@@ -72,5 +76,16 @@ type PTBStats struct {
 
 // Stats returns a snapshot of the counters.
 func (p *PTB) Stats() PTBStats {
-	return PTBStats{Allocs: p.allocs, Rejected: p.rejected, Peak: p.peak}
+	return PTBStats{Allocs: p.allocs.Value(), Rejected: p.rejected.Value(), Peak: p.peak}
+}
+
+// Register publishes the buffer's counters and occupancy into a metrics
+// registry under prefix. The in_use gauge is what the time-series
+// sampler reads to plot PTB occupancy over a run.
+func (p *PTB) Register(r *obs.Registry, prefix string) {
+	r.Counter(prefix+".allocs", &p.allocs)
+	r.Counter(prefix+".rejected", &p.rejected)
+	r.Gauge(prefix+".in_use", func() float64 { return float64(p.inUse) })
+	r.Gauge(prefix+".peak", func() float64 { return float64(p.peak) })
+	r.Gauge(prefix+".capacity", func() float64 { return float64(p.capacity) })
 }

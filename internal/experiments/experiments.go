@@ -9,10 +9,15 @@
 package experiments
 
 import (
+	"bytes"
 	"fmt"
+	"os"
+	"path/filepath"
 
 	"hypertrio/internal/core"
+	"hypertrio/internal/obs"
 	"hypertrio/internal/runner"
+	"hypertrio/internal/sim"
 	"hypertrio/internal/stats"
 	"hypertrio/internal/trace"
 	"hypertrio/internal/workload"
@@ -30,6 +35,13 @@ type Options struct {
 	// worker count; Workers == 1 reproduces the historical serial
 	// execution exactly.
 	Workers int
+	// SampleEvery, when positive, attaches the time-series sampler to
+	// every simulation cell at this interval of simulated time. Sampling
+	// only reads model state, so the rendered tables are unchanged.
+	SampleEvery sim.Duration
+	// SeriesDir, when set together with SampleEvery, receives one CSV
+	// per cell (cell-000.csv, ... in submission order) for each sweep.
+	SeriesDir string
 }
 
 // DefaultOptions is what cmd/experiments uses.
@@ -151,13 +163,48 @@ func (s *sweep) simTrace(cfg core.Config, tc trace.Config) {
 }
 
 // run executes the queued cells and returns a cursor over the results in
-// submission order.
+// submission order. With sampling enabled it attaches the shared
+// observability options to every cell (safe: cells only read them) and
+// writes the per-cell time series under SeriesDir.
 func (s *sweep) run() (*results, error) {
-	rs, err := runner.Pool{Workers: s.o.Workers}.Run(s.cells)
+	cells := s.cells
+	if s.o.SampleEvery > 0 {
+		shared := &obs.Options{SampleEvery: s.o.SampleEvery}
+		cells = make([]runner.Cell, len(s.cells))
+		copy(cells, s.cells)
+		for i := range cells {
+			cells[i].Config.Obs = shared
+		}
+	}
+	rs, err := runner.Pool{Workers: s.o.Workers}.Run(cells)
 	if err != nil {
 		return nil, err
 	}
+	if s.o.SampleEvery > 0 && s.o.SeriesDir != "" {
+		if err := writeSeries(s.o.SeriesDir, rs); err != nil {
+			return nil, err
+		}
+	}
 	return &results{rs: rs}, nil
+}
+
+// writeSeries dumps each cell's sampled series as CSV, numbered in
+// submission order so a results directory diffs clean across runs.
+func writeSeries(dir string, rs []core.Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for i, r := range rs {
+		var buf bytes.Buffer
+		if err := r.Series.WriteCSV(&buf); err != nil {
+			return err
+		}
+		path := filepath.Join(dir, fmt.Sprintf("cell-%03d.csv", i))
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // results replays a sweep's outcomes in submission order: the assembly

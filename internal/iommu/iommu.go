@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"hypertrio/internal/mem"
+	"hypertrio/internal/obs"
 	"hypertrio/internal/tlb"
 )
 
@@ -54,10 +55,10 @@ type IOMMU struct {
 
 	history *History
 
-	// Counters.
-	translations uint64
-	walks        uint64
-	memAccesses  uint64
+	// Counters (observability cells; Stats assembles the snapshot view).
+	translations obs.Counter
+	walks        obs.Counter
+	memAccesses  obs.Counter
 }
 
 // New builds the IOMMU. ctxTable must contain an entry for every SID that
@@ -111,7 +112,7 @@ func granuleKey(sid mem.SID, iova uint64, shift uint) tlb.Key {
 // reads must not).
 func (u *IOMMU) Translate(sid mem.SID, iova uint64, pageShift uint8, recordHistory bool) (Result, error) {
 	var res Result
-	u.translations++
+	u.translations.Inc()
 
 	// Context lookup: SID -> page-table roots.
 	ccKey := tlb.Key{SID: uint16(sid)}
@@ -140,7 +141,7 @@ func (u *IOMMU) Translate(sid mem.SID, iova uint64, pageShift uint8, recordHisto
 		if e, ok := u.iotlb.Lookup(iotlbKey); ok {
 			res.IOTLBHit = true
 			res.HPA = e.Value | iova&(uint64(1)<<pageShift-1)
-			u.memAccesses += uint64(res.MemAccesses)
+			u.memAccesses.Add(uint64(res.MemAccesses))
 			return res, nil
 		}
 	}
@@ -151,7 +152,7 @@ func (u *IOMMU) Translate(sid mem.SID, iova uint64, pageShift uint8, recordHisto
 	// translation itself, which lives in the IOTLB/DevTLB).
 	var walk mem.NestedResult
 	var err error
-	u.walks++
+	u.walks.Inc()
 	switch {
 	case pageShift == mem.PageShift && u.l2pwcHit(sid, iova):
 		res.PWCLevel = 2
@@ -175,7 +176,7 @@ func (u *IOMMU) Translate(sid mem.SID, iova uint64, pageShift uint8, recordHisto
 	}
 	res.MemAccesses += len(walk.Accesses)
 	res.HPA = walk.HPA
-	u.memAccesses += uint64(res.MemAccesses)
+	u.memAccesses.Add(uint64(res.MemAccesses))
 
 	// Install what the walk learned.
 	pageMask := uint64(1)<<pageShift - 1
@@ -233,9 +234,9 @@ type Stats struct {
 // Stats returns a snapshot of the counters.
 func (u *IOMMU) Stats() Stats {
 	s := Stats{
-		Translations: u.translations,
-		Walks:        u.walks,
-		MemAccesses:  u.memAccesses,
+		Translations: u.translations.Value(),
+		Walks:        u.walks.Value(),
+		MemAccesses:  u.memAccesses.Value(),
 		ContextCache: u.cc.Stats(),
 		L2PWC:        u.l2pwc.Stats(),
 		L3PWC:        u.l3pwc.Stats(),
@@ -244,4 +245,18 @@ func (u *IOMMU) Stats() Stats {
 		s.IOTLB = u.iotlb.Stats()
 	}
 	return s
+}
+
+// Register publishes the chipset's counters and every cache's traffic
+// into a metrics registry under prefix.
+func (u *IOMMU) Register(r *obs.Registry, prefix string) {
+	r.Counter(prefix+".translations", &u.translations)
+	r.Counter(prefix+".walks", &u.walks)
+	r.Counter(prefix+".mem_accesses", &u.memAccesses)
+	u.cc.Register(r, prefix+".cc")
+	if u.iotlb != nil {
+		u.iotlb.Register(r, prefix+".iotlb")
+	}
+	u.l2pwc.Register(r, prefix+".l2pwc")
+	u.l3pwc.Register(r, prefix+".l3pwc")
 }

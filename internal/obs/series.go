@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"hypertrio/internal/sim"
+)
+
+// MetricsSchema names the -metrics export format (both the JSON
+// document and the CSV column set). The golden test pins it.
+const MetricsSchema = "hypertrio-metrics/1"
+
+// Point is one time-series sample. Rates are computed over the window
+// since the previous sample, so a series plots cleanly as a step chart;
+// occupancy fields are instantaneous at T.
+type Point struct {
+	T             int64   `json:"t_ps"`            // sample time, simulated ps
+	Gbps          float64 `json:"gbps"`            // bandwidth over the window
+	PTBInUse      int     `json:"ptb_in_use"`      // occupied PTB slots at T
+	PBHitRate     float64 `json:"pb_hit_rate"`     // Prefetch Buffer hit rate over the window
+	DevTLBHitRate float64 `json:"devtlb_hit_rate"` // DevTLB hit rate over the window
+	WalkersBusy   int     `json:"walkers_busy"`    // in-flight chipset walks at T
+	WalkerUtil    float64 `json:"walker_util"`     // WalkersBusy / walker cap (0 when unlimited)
+}
+
+// seriesColumns is the CSV header; keep in sync with Point's JSON tags.
+const seriesColumns = "t_ps,gbps,ptb_in_use,pb_hit_rate,devtlb_hit_rate,walkers_busy,walker_util"
+
+// Series is a sampled run: points every Interval of simulated time
+// (plus one final partial-window point at the end of the run).
+type Series struct {
+	Interval sim.Duration
+	Points   []Point
+}
+
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// WriteCSV renders the series with a fixed header row. The encoding is
+// deterministic (shortest round-trip float formatting).
+func (s *Series) WriteCSV(w io.Writer) error {
+	if _, err := io.WriteString(w, seriesColumns+"\n"); err != nil {
+		return err
+	}
+	if s == nil {
+		return nil
+	}
+	for _, p := range s.Points {
+		_, err := fmt.Fprintf(w, "%d,%s,%d,%s,%s,%d,%s\n",
+			p.T, ftoa(p.Gbps), p.PTBInUse, ftoa(p.PBHitRate),
+			ftoa(p.DevTLBHitRate), p.WalkersBusy, ftoa(p.WalkerUtil))
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MetricsExport is the JSON document written for -metrics FILE: the
+// time series (when sampling was enabled) plus a final snapshot of
+// every registered metric.
+type MetricsExport struct {
+	Schema     string                       `json:"schema"`
+	IntervalPs int64                        `json:"interval_ps,omitempty"`
+	Series     []Point                      `json:"series,omitempty"`
+	Counters   map[string]uint64            `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// NewMetricsExport assembles the export document from a run's series
+// and registry snapshot (either may be nil/empty).
+func NewMetricsExport(series *Series, snap Snapshot) MetricsExport {
+	e := MetricsExport{
+		Schema:     MetricsSchema,
+		Counters:   snap.Counters,
+		Gauges:     snap.Gauges,
+		Histograms: snap.Histograms,
+	}
+	if series != nil {
+		e.IntervalPs = int64(series.Interval)
+		e.Series = series.Points
+	}
+	return e
+}
+
+// WriteJSON marshals the export with indentation. Go marshals maps with
+// sorted keys, so the output is deterministic.
+func (e MetricsExport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(e)
+}

@@ -1,10 +1,13 @@
 package runner
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
 	"hypertrio/internal/core"
+	"hypertrio/internal/obs"
+	"hypertrio/internal/sim"
 	"hypertrio/internal/tlb"
 	"hypertrio/internal/trace"
 	"hypertrio/internal/workload"
@@ -160,5 +163,35 @@ func TestPoolOracleCellsShareTrace(t *testing.T) {
 	}
 	if rs[0] != rs[1] || rs[1] != rs[2] {
 		t.Error("identical oracle cells diverged over a shared trace")
+	}
+}
+
+// TestPoolConcurrentSampling runs cells with the time-series sampler
+// attached through a shared obs.Options across many workers: sampling
+// state is per-System, so concurrent cells must neither race (the -race
+// CI target covers this test) nor change any simulation outcome.
+func TestPoolConcurrentSampling(t *testing.T) {
+	plain, err := Pool{Workers: 4, Cache: NewCache()}.Run(testCells())
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := &obs.Options{SampleEvery: 10 * sim.Microsecond}
+	cells := testCells()
+	for i := range cells {
+		cells[i].Config.Obs = shared
+	}
+	sampled, err := Pool{Workers: 4, Cache: NewCache()}.Run(cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sampled {
+		if sampled[i].Series == nil || len(sampled[i].Series.Points) == 0 {
+			t.Fatalf("cell %d: sampling on but no series", i)
+		}
+		sampled[i].Series = nil
+		if !reflect.DeepEqual(plain[i], sampled[i]) {
+			t.Fatalf("cell %d: sampling changed the result\noff: %+v\non:  %+v",
+				i, plain[i], sampled[i])
+		}
 	}
 }

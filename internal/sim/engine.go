@@ -23,6 +23,18 @@ type event struct {
 // EventID identifies a scheduled event so it can be cancelled.
 type EventID struct{ ev *event }
 
+// Probe observes the engine's lifecycle: every event entering the
+// queue, firing, or being cancelled, with its timestamp, deterministic
+// sequence number, and optional debug label. Probes must only observe —
+// a probe that mutates model state would break the determinism contract.
+// All hooks are nil-guarded, so an engine without a probe pays one
+// predictable branch per operation.
+type Probe interface {
+	OnSchedule(at Time, seq uint64, label string)
+	OnFire(at Time, seq uint64, label string)
+	OnCancel(at Time, seq uint64, label string)
+}
+
 // eventQueue is a min-heap ordered by (time, seq).
 type eventQueue []*event
 
@@ -67,6 +79,7 @@ type Engine struct {
 	nextSeq uint64
 	fired   uint64
 	stopped bool
+	probe   Probe
 }
 
 // NewEngine returns an engine with the clock at time zero.
@@ -82,6 +95,16 @@ func (e *Engine) Fired() uint64 { return e.fired }
 
 // Pending reports how many events are currently scheduled.
 func (e *Engine) Pending() int { return len(e.queue) }
+
+// Stopped reports whether the last Run/RunUntil/RunLimit call ended
+// because Stop was called (rather than by draining the queue or hitting
+// its bound). RunUntil callers use this to distinguish "clock advanced
+// to the deadline" from "halted mid-window".
+func (e *Engine) Stopped() bool { return e.stopped }
+
+// SetProbe attaches an observability probe (nil detaches). The probe
+// sees events from the next operation onward.
+func (e *Engine) SetProbe(p Probe) { e.probe = p }
 
 // ErrPastEvent is returned by ScheduleAt when the requested time is
 // before the current simulation time.
@@ -116,11 +139,17 @@ func (e *Engine) scheduleAt(at Time, fn Handler, label string) EventID {
 	ev := &event{at: at, seq: e.nextSeq, fn: fn, label: label}
 	e.nextSeq++
 	heap.Push(&e.queue, ev)
+	if e.probe != nil {
+		e.probe.OnSchedule(at, ev.seq, label)
+	}
 	return EventID{ev: ev}
 }
 
 // Cancel removes a scheduled event. Cancelling an already-fired or
-// already-cancelled event is a no-op and returns false.
+// already-cancelled event is a no-op and returns false; in particular,
+// an event popped for execution during same-timestamp firing (including
+// a handler cancelling itself) has already left the queue and cannot be
+// cancelled.
 func (e *Engine) Cancel(id EventID) bool {
 	ev := id.ev
 	if ev == nil || ev.cancel || ev.index < 0 {
@@ -128,6 +157,9 @@ func (e *Engine) Cancel(id EventID) bool {
 	}
 	ev.cancel = true
 	heap.Remove(&e.queue, ev.index)
+	if e.probe != nil {
+		e.probe.OnCancel(ev.at, ev.seq, ev.label)
+	}
 	return true
 }
 
@@ -147,6 +179,9 @@ func (e *Engine) Step() bool {
 		}
 		e.now = ev.at
 		e.fired++
+		if e.probe != nil {
+			e.probe.OnFire(ev.at, ev.seq, ev.label)
+		}
 		ev.fn(e, e.now)
 		return true
 	}
@@ -165,6 +200,13 @@ func (e *Engine) Run() uint64 {
 
 // RunUntil fires events with timestamps <= deadline. Events scheduled
 // beyond the deadline stay queued. It returns the number of events fired.
+//
+// Clock-advance semantics: when the window completes normally the clock
+// lands exactly on deadline even if no event fired there, so repeated
+// RunUntil calls tile time without gaps. When Stop fires mid-window the
+// clock stays at the stopping event's time and the remaining in-window
+// events stay queued (Stopped reports which case occurred); a later
+// RunUntil with the same deadline resumes and finishes the window.
 func (e *Engine) RunUntil(deadline Time) uint64 {
 	start := e.fired
 	e.stopped = false

@@ -309,3 +309,99 @@ func TestDurationStd(t *testing.T) {
 		t.Fatal("sub-ns Std should truncate to zero")
 	}
 }
+
+// TestRunUntilStopMidWindow pins the clock-advance contract: when Stop
+// fires mid-window the clock must stay at the stopping event's time (not
+// jump to the deadline), the remaining in-window events must stay
+// queued, Stopped must report true, and a later RunUntil with the same
+// deadline must resume and finish the window.
+func TestRunUntilStopMidWindow(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.Schedule(10*Nanosecond, func(e *Engine, _ Time) {
+		got = append(got, 1)
+		e.Stop()
+	})
+	e.Schedule(20*Nanosecond, func(*Engine, Time) { got = append(got, 2) })
+
+	deadline := Time(50 * Nanosecond)
+	if n := e.RunUntil(deadline); n != 1 {
+		t.Fatalf("first window fired %d events, want 1", n)
+	}
+	if !e.Stopped() {
+		t.Fatal("Stopped() false after Stop mid-window")
+	}
+	if e.Now() != Time(10*Nanosecond) {
+		t.Fatalf("clock advanced to %v after Stop; want the stopping event's time %v",
+			e.Now(), Time(10*Nanosecond))
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("in-window event lost: pending = %d, want 1", e.Pending())
+	}
+
+	// Resume: the same deadline finishes the window and lands the clock
+	// on the deadline exactly.
+	if n := e.RunUntil(deadline); n != 1 {
+		t.Fatalf("resumed window fired %d events, want 1", n)
+	}
+	if e.Stopped() {
+		t.Fatal("Stopped() stuck true after a normal window")
+	}
+	if e.Now() != deadline {
+		t.Fatalf("clock = %v after normal window, want deadline %v", e.Now(), deadline)
+	}
+	if want := []int{1, 2}; len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("fired order %v, want %v", got, want)
+	}
+}
+
+// TestCancelSameTimestampDuringFiring pins Cancel semantics while the
+// engine is mid-firing a run of same-timestamp events: a later event at
+// the same timestamp is still in the queue and cancels cleanly, while
+// the currently executing event (already popped) cannot be cancelled.
+func TestCancelSameTimestampDuringFiring(t *testing.T) {
+	e := NewEngine()
+	var ids [3]EventID
+	var fired [3]bool
+	var selfCancel, laterCancel bool
+	ids[0] = e.Schedule(5*Nanosecond, func(e *Engine, _ Time) {
+		fired[0] = true
+		selfCancel = e.Cancel(ids[0])  // popped: must fail
+		laterCancel = e.Cancel(ids[2]) // still queued at the same ts: must succeed
+	})
+	ids[1] = e.Schedule(5*Nanosecond, func(*Engine, Time) { fired[1] = true })
+	ids[2] = e.Schedule(5*Nanosecond, func(*Engine, Time) { fired[2] = true })
+	e.Run()
+
+	if selfCancel {
+		t.Fatal("cancelling the currently executing event reported success")
+	}
+	if !laterCancel {
+		t.Fatal("cancelling a queued same-timestamp event failed")
+	}
+	if !fired[0] || !fired[1] {
+		t.Fatalf("fired = %v; events 0 and 1 must run", fired)
+	}
+	if fired[2] {
+		t.Fatal("cancelled same-timestamp event fired anyway")
+	}
+	// Cancelling an already-cancelled event stays a no-op.
+	if e.Cancel(ids[2]) {
+		t.Fatal("double cancel reported success")
+	}
+}
+
+// TestStoppedReset verifies Stopped clears on every run entry point.
+func TestStoppedReset(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(1*Nanosecond, func(e *Engine, _ Time) { e.Stop() })
+	e.Run()
+	if !e.Stopped() {
+		t.Fatal("Stopped() false after Stop")
+	}
+	e.Schedule(1*Nanosecond, func(*Engine, Time) {})
+	e.Run()
+	if e.Stopped() {
+		t.Fatal("Stopped() not cleared by the next Run")
+	}
+}

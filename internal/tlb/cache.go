@@ -13,6 +13,8 @@ package tlb
 import (
 	"fmt"
 	"math/rand"
+
+	"hypertrio/internal/obs"
 )
 
 // Key identifies a cached translation: the requesting tenant's Source ID
@@ -85,7 +87,9 @@ func (c Config) validate() error {
 	return nil
 }
 
-// Stats counts cache traffic.
+// Stats counts cache traffic. It is a snapshot view assembled from the
+// cache's obs.Counter cells — the metrics registry is the single source
+// of truth; Stats exists for the established reporting API.
 type Stats struct {
 	Lookups     uint64
 	Hits        uint64
@@ -133,7 +137,14 @@ type Cache struct {
 	tick   uint64
 	rng    *rand.Rand
 	future *Future
-	stats  Stats
+
+	// Traffic counters as observability cells (see Stats / Register).
+	lookups     obs.Counter
+	hits        obs.Counter
+	misses      obs.Counter
+	insertions  obs.Counter
+	evictions   obs.Counter
+	invalidates obs.Counter
 }
 
 // New builds a cache from cfg. It panics on invalid configuration, which
@@ -157,11 +168,39 @@ func New(cfg Config) *Cache {
 func (c *Cache) Config() Config { return c.cfg }
 
 // Stats returns a copy of the traffic counters.
-func (c *Cache) Stats() Stats { return c.stats }
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Lookups:     c.lookups.Value(),
+		Hits:        c.hits.Value(),
+		Misses:      c.misses.Value(),
+		Insertions:  c.insertions.Value(),
+		Evictions:   c.evictions.Value(),
+		Invalidates: c.invalidates.Value(),
+	}
+}
 
 // ResetStats zeroes the traffic counters (used between warmup and
 // measurement phases).
-func (c *Cache) ResetStats() { c.stats = Stats{} }
+func (c *Cache) ResetStats() {
+	c.lookups.Reset()
+	c.hits.Reset()
+	c.misses.Reset()
+	c.insertions.Reset()
+	c.evictions.Reset()
+	c.invalidates.Reset()
+}
+
+// Register publishes the cache's counters and occupancy into a metrics
+// registry under prefix (e.g. "devtlb.hits"). Nil-safe on r.
+func (c *Cache) Register(r *obs.Registry, prefix string) {
+	r.Counter(prefix+".lookups", &c.lookups)
+	r.Counter(prefix+".hits", &c.hits)
+	r.Counter(prefix+".misses", &c.misses)
+	r.Counter(prefix+".insertions", &c.insertions)
+	r.Counter(prefix+".evictions", &c.evictions)
+	r.Counter(prefix+".invalidates", &c.invalidates)
+	r.Gauge(prefix+".entries", func() float64 { return float64(c.Len()) })
+}
 
 // SetFuture attaches the oracle's future knowledge; required before any
 // access when Policy == Oracle.
@@ -185,7 +224,7 @@ func (c *Cache) setIndex(k Key) int {
 // go through Lookup.
 func (c *Cache) Lookup(key Key) (Entry, bool) {
 	c.tick++
-	c.stats.Lookups++
+	c.lookups.Inc()
 	if c.cfg.Policy == Oracle && c.future != nil {
 		c.future.Observe(key)
 	}
@@ -193,7 +232,7 @@ func (c *Cache) Lookup(key Key) (Entry, bool) {
 	for i := range set {
 		s := &set[i]
 		if s.valid && s.entry.Key == key {
-			c.stats.Hits++
+			c.hits.Inc()
 			s.lastUse = c.tick
 			if s.freq < lfuMax {
 				s.freq++
@@ -206,7 +245,7 @@ func (c *Cache) Lookup(key Key) (Entry, bool) {
 			return s.entry, true
 		}
 	}
-	c.stats.Misses++
+	c.misses.Inc()
 	return Entry{}, false
 }
 
@@ -225,7 +264,7 @@ func (c *Cache) Peek(key Key) (Entry, bool) {
 // Inserting an already-present key refreshes its value in place.
 func (c *Cache) Insert(e Entry) {
 	c.tick++
-	c.stats.Insertions++
+	c.insertions.Inc()
 	set := c.sets[c.setIndex(e.Key)]
 	// Refresh in place if present.
 	for i := range set {
@@ -243,7 +282,7 @@ func (c *Cache) Insert(e Entry) {
 		}
 	}
 	victim := c.victim(set)
-	c.stats.Evictions++
+	c.evictions.Inc()
 	set[victim] = slot{valid: true, entry: e, lastUse: c.tick, inserted: c.tick, freq: 1}
 }
 
@@ -299,7 +338,7 @@ func (c *Cache) Invalidate(key Key) bool {
 	for i := range set {
 		if set[i].valid && set[i].entry.Key == key {
 			set[i] = slot{}
-			c.stats.Invalidates++
+			c.invalidates.Inc()
 			return true
 		}
 	}
@@ -319,7 +358,7 @@ func (c *Cache) InvalidateSID(sid uint16) int {
 			}
 		}
 	}
-	c.stats.Invalidates += uint64(n)
+	c.invalidates.Add(uint64(n))
 	return n
 }
 
