@@ -9,6 +9,7 @@
 //	hypersio -benchmark iperf3 -tenants 64 -design base -devtlb-entries 1024
 //	hypersio -benchmark mediastream -tenants 128 -design hypertrio -ptb 8 -no-prefetch
 //	hypersio -benchmark iperf3 -tenants 64 -trace run.ndjson -metrics run.json
+//	hypersio -design hypertrio -describe
 //
 // Observability: -trace FILE streams model events (arrivals, drops,
 // DevTLB hits/misses, page walks, prefetches) as NDJSON; -trace-engine
@@ -36,20 +37,22 @@ import (
 // options carries every flag; keeping them in one struct keeps run
 // testable without a 14-parameter signature.
 type options struct {
-	benchmark  string
-	interleave string
-	design     string
-	policy     string
-	replayFile string
-	tenants    int
-	seed       int64
-	scale      float64
-	linkGbps   float64
-	ptb        int
-	devtlbSize int
-	noPrefetch bool
-	serial     bool
-	verbose    bool
+	benchmark    string
+	interleave   string
+	design       string
+	policy       string
+	replayFile   string
+	tenants      int
+	seed         int64
+	scale        float64
+	linkGbps     float64
+	ptb          int
+	devtlbSize   int
+	chipsetIOTLB int
+	noPrefetch   bool
+	serial       bool
+	describe     bool
+	verbose      bool
 
 	traceFile    string // NDJSON event trace output
 	engineEvents bool
@@ -70,9 +73,11 @@ func main() {
 	flag.Float64Var(&o.linkGbps, "link", 200, "I/O link bandwidth in Gb/s")
 	flag.IntVar(&o.ptb, "ptb", 0, "override PTB entries (0 = design default)")
 	flag.IntVar(&o.devtlbSize, "devtlb-entries", 0, "override DevTLB entries, 8-way (0 = design default)")
-	flag.StringVar(&o.policy, "policy", "", "override DevTLB replacement policy: lru, lfu, fifo, rand, oracle")
+	flag.StringVar(&o.policy, "policy", "", "override DevTLB replacement policy: lru, lfu, fifo, rand, oracle, plru")
+	flag.IntVar(&o.chipsetIOTLB, "chipset-iotlb", 0, "enable a shared (unpartitioned) chipset IOTLB with this many entries, 8-way LRU")
 	flag.BoolVar(&o.noPrefetch, "no-prefetch", false, "disable the Prefetch Unit")
 	flag.BoolVar(&o.serial, "serial", false, "serialize a packet's translations (legacy device)")
+	flag.BoolVar(&o.describe, "describe", false, "print the resolved translation datapath and exit without simulating")
 	flag.BoolVar(&o.verbose, "v", false, "print per-structure statistics")
 
 	flag.StringVar(&o.traceFile, "trace", "", "write an NDJSON event trace of the run to FILE")
@@ -121,6 +126,9 @@ func (o options) validate() error {
 	if o.devtlbSize < 0 {
 		return fmt.Errorf("-devtlb-entries must be >= 0, got %d", o.devtlbSize)
 	}
+	if o.chipsetIOTLB < 0 || o.chipsetIOTLB%8 != 0 {
+		return fmt.Errorf("-chipset-iotlb must be a non-negative multiple of 8, got %d", o.chipsetIOTLB)
+	}
 	if o.sampleUs < 0 {
 		return fmt.Errorf("-sample-us must be >= 0, got %d", o.sampleUs)
 	}
@@ -158,10 +166,27 @@ func run(o options) error {
 		}
 		cfg.DevTLB.Policy = p
 	}
+	if o.chipsetIOTLB > 0 {
+		// Shared mode: one unpartitioned pool, hashed across tenants —
+		// the pre-partitioning chipset design the paper argues against.
+		cfg.IOMMU.IOTLB = tlb.Config{
+			Name: "iotlb", Sets: o.chipsetIOTLB / 8, Ways: 8,
+			Policy: tlb.LRU, Index: tlb.Hashed,
+		}
+	}
 	if o.noPrefetch {
 		cfg.Prefetch = nil
 	}
 	cfg.SerialRequests = o.serial
+
+	if o.describe {
+		desc, err := hypertrio.DescribePipeline(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(desc)
+		return nil
+	}
 
 	// Observability wiring. The tracer flushes (and its file closes)
 	// whether the run succeeds or fails.

@@ -104,6 +104,11 @@ func BaseConfig() Config { return core.BaseConfig() }
 // HyperTRIOConfig returns the paper's full HyperTRIO design (Table IV).
 func HyperTRIOConfig() Config { return core.HyperTRIOConfig() }
 
+// DescribePipeline renders the translation datapath a configuration
+// resolves to — one line per composed stage — without building page
+// tables or running anything (`hypersio -describe`).
+func DescribePipeline(cfg Config) (string, error) { return core.DescribePipeline(cfg) }
+
 // Result reports a simulation run's bandwidth and per-structure
 // statistics.
 type Result = core.Result

@@ -11,6 +11,7 @@ import (
 	"hypertrio/internal/device"
 	"hypertrio/internal/iommu"
 	"hypertrio/internal/obs"
+	"hypertrio/internal/pipeline"
 	"hypertrio/internal/sim"
 	"hypertrio/internal/tlb"
 )
@@ -127,6 +128,56 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: PageTableLevels must be 0, 4 or 5, got %d", l)
 	}
 	return nil
+}
+
+// PipelineSpec resolves the configuration into the stage sequence it
+// composes: admission, then the device-side probe levels in probe order,
+// then the chipset resolver and its history reader. TranslationOff
+// resolves to the empty spec (the native path). Every design variant —
+// baseline, partitioned, prefetching, and future ones — is a different
+// spec of the same stage kinds, not a different code path.
+func (c Config) PipelineSpec() pipeline.Spec {
+	if c.TranslationOff {
+		return pipeline.Spec{}
+	}
+	var spec pipeline.Spec
+	spec.Stages = append(spec.Stages, pipeline.StageSpec{Kind: "ptb", Entries: c.PTBEntries})
+	if c.DevTLB.Sets > 0 {
+		spec.Stages = append(spec.Stages, pipeline.StageSpec{Kind: "devtlb", Cache: c.DevTLB})
+	}
+	if c.Prefetch != nil {
+		spec.Stages = append(spec.Stages, pipeline.StageSpec{Kind: "prefetch-buffer", Prefetch: *c.Prefetch})
+	}
+	spec.Stages = append(spec.Stages, pipeline.StageSpec{
+		Kind: "chipset", IOMMU: c.IOMMU, Walkers: c.IOMMUWalkers,
+	})
+	if c.Prefetch != nil {
+		spec.Stages = append(spec.Stages, pipeline.StageSpec{Kind: "history-reader"})
+	}
+	return spec
+}
+
+// DescribePipeline renders the datapath the configuration resolves to,
+// without building page tables or running anything (hypersio -describe).
+func DescribePipeline(cfg Config) (string, error) {
+	if err := cfg.Validate(); err != nil {
+		return "", err
+	}
+	// Describe-only build: no tenants, no oracle future. Stage builders
+	// only touch the memory system when translations run, so a chain
+	// built against an empty context table still renders.
+	chain, err := pipeline.BuildChain(cfg.PipelineSpec(), pipeline.Env{
+		Lat: pipeline.Latencies{
+			PCIeOneWay:   cfg.Params.PCIeOneWay,
+			DRAMLatency:  cfg.Params.DRAMLatency,
+			TLBHit:       cfg.Params.TLBHit,
+			Interarrival: cfg.Params.Interarrival(),
+		},
+	})
+	if err != nil {
+		return "", err
+	}
+	return chain.Describe(), nil
 }
 
 // BaseConfig is the paper's Base design (Table IV): a conventional

@@ -2,9 +2,11 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"hypertrio/internal/device"
 	"hypertrio/internal/iommu"
+	"hypertrio/internal/mem"
 	"hypertrio/internal/obs"
 	"hypertrio/internal/sim"
 	"hypertrio/internal/tlb"
@@ -51,6 +53,69 @@ type Result struct {
 	// periodic sampler; nil otherwise. It rides on the result so runners
 	// can export per-run CSVs without re-plumbing the System.
 	Series *obs.Series
+}
+
+// result assembles the Result view from the metric cells and the chain's
+// stage statistics at end of run.
+func (s *System) result() Result {
+	r := Result{
+		Packets:        s.packets.Value(),
+		Drops:          s.drops.Value(),
+		Bytes:          s.bytes.Value(),
+		Elapsed:        sim.Duration(s.lastCompletion),
+		Requests:       s.requests.Value(),
+		DevTLBServed:   s.chain.Served("devtlb").Value(),
+		PrefetchServed: s.chain.Served("prefetch").Value(),
+	}
+	if s.sampler != nil {
+		r.Series = s.sampler.series
+	}
+	if s.lastCompletion > 0 {
+		r.AchievedGbps = float64(r.Bytes*8) / sim.Duration(s.lastCompletion).Seconds() / 1e9
+		r.Utilization = r.AchievedGbps / s.cfg.Params.LinkGbps
+	}
+	if n := s.missCount.Value(); n > 0 {
+		r.AvgMissLatency = sim.Duration(s.missLatencySum.Value()) / sim.Duration(n)
+	}
+	if len(s.tenantLat) > 0 {
+		// Deterministic order: floating-point accumulation must not
+		// depend on map iteration, or identical runs diverge bitwise.
+		sids := make([]int, 0, len(s.tenantLat))
+		for sid := range s.tenantLat {
+			sids = append(sids, int(sid))
+		}
+		sort.Ints(sids)
+		var sum, sumSq float64
+		first := true
+		for _, sid := range sids {
+			tl := s.tenantLat[mem.SID(sid)]
+			if tl.count == 0 {
+				continue
+			}
+			mean := float64(tl.sum) / float64(tl.count)
+			sum += mean
+			sumSq += mean * mean
+			m := sim.Duration(mean)
+			if first || m < r.MinTenantLatency {
+				r.MinTenantLatency = m
+			}
+			if m > r.MaxTenantLatency {
+				r.MaxTenantLatency = m
+			}
+			if tl.worst > r.WorstPacket {
+				r.WorstPacket = tl.worst
+			}
+			first = false
+		}
+		if n := float64(len(s.tenantLat)); sumSq > 0 {
+			r.LatencyFairness = sum * sum / (n * sumSq)
+		}
+	}
+	r.DevTLB = s.chain.CacheStats("devtlb")
+	r.PTB = s.chain.PTBStats()
+	r.Prefetch = s.chain.PrefetchStats()
+	r.IOMMU = s.chain.IOMMUStats()
+	return r
 }
 
 // PrefetchServedShare is the fraction of all translation requests

@@ -2,12 +2,11 @@ package core
 
 import (
 	"fmt"
-	"sort"
 
-	"hypertrio/internal/device"
 	"hypertrio/internal/iommu"
 	"hypertrio/internal/mem"
 	"hypertrio/internal/obs"
+	"hypertrio/internal/pipeline"
 	"hypertrio/internal/sim"
 	"hypertrio/internal/tlb"
 	"hypertrio/internal/trace"
@@ -15,7 +14,10 @@ import (
 )
 
 // System is one instantiated simulation: a configuration bound to a
-// hyper-tenant trace with per-tenant page tables built and ready to walk.
+// hyper-tenant trace with per-tenant page tables built and ready to
+// walk. The translation datapath itself lives in the chain
+// (internal/pipeline); System owns the link model (arrival slots, drop
+// and retry), the packet-level accounting, and the observability wiring.
 type System struct {
 	cfg Config
 	tr  *trace.Trace
@@ -23,33 +25,23 @@ type System struct {
 	engine *sim.Engine
 	dt     sim.Duration // packet inter-arrival gap
 
-	host    *mem.Space
-	ctx     *mem.ContextTable
-	spaces  map[mem.SID]*workload.AddressSpace
-	devtlb  *tlb.Cache // nil when disabled
-	pu      *device.PrefetchUnit
-	ptb     *device.PTB
-	chipset *iommu.IOMMU
+	host  *mem.Space
+	ctx   *mem.ContextTable
+	chain *pipeline.Chain
 
 	cursor       int
 	unmapApplied bool
 	firstAttempt sim.Time // when the packet at cursor first hit the link
 	haveAttempt  bool
 
-	// Walker pool (Config.IOMMUWalkers > 0): translations queue for a
-	// free walker once they reach the chipset.
-	walkersBusy int
-	walkQueue   []func(*sim.Engine)
-
 	// Metric cells. The registry (see Registry) names these for export;
 	// Result is a view assembled from the same cells, so there is no
-	// second accounting path to drift out of sync.
+	// second accounting path to drift out of sync. Per-stage cells live
+	// in the chain's stages.
 	packets        obs.Counter
 	drops          obs.Counter
 	bytes          obs.Counter
 	requests       obs.Counter
-	devtlbServed   obs.Counter
-	prefetchServed obs.Counter
 	missLatencySum obs.Counter // picoseconds
 	missCount      obs.Counter
 	missHist       obs.Histogram // chipset round-trip latency, ps
@@ -58,19 +50,9 @@ type System struct {
 
 	// Observability (all zero when Config.Obs is unset; the simulation's
 	// outcome is byte-identical either way).
-	otr         *obs.Tracer
-	registry    *obs.Registry
-	series      *obs.Series
-	sampleEvery sim.Duration
-
-	// Sampler window state: values at the previous sample, so each Point
-	// reports rates over its window rather than cumulative averages.
-	lastSampleAt   sim.Time
-	prevBytes      uint64
-	prevDevHits    uint64
-	prevDevLookups uint64
-	prevPBHits     uint64
-	prevPBLookups  uint64
+	otr      *obs.Tracer
+	registry *obs.Registry
+	sampler  *sampler
 }
 
 // tenantLatency aggregates one tenant's packet service times (first
@@ -82,9 +64,9 @@ type tenantLatency struct {
 }
 
 // NewSystem builds per-tenant page tables for every SID in the trace and
-// instantiates the configured hardware. A trace with tenants but no
-// packets is legal — an aggressive Scale can round a benchmark down to
-// zero packets — and runs to a zeroed Result.
+// composes the configured translation datapath. A trace with tenants but
+// no packets is legal — an aggressive Scale can round a benchmark down
+// to zero packets — and runs to a zeroed Result.
 func NewSystem(cfg Config, tr *trace.Trace) (*System, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -99,7 +81,6 @@ func NewSystem(cfg Config, tr *trace.Trace) (*System, error) {
 		dt:        cfg.Params.Interarrival(),
 		host:      mem.NewSpace("host", 0x1_0000_0000, 0),
 		ctx:       mem.NewContextTable(),
-		spaces:    make(map[mem.SID]*workload.AddressSpace, tr.Tenants),
 		tenantLat: make(map[mem.SID]*tenantLatency, tr.Tenants),
 	}
 	profile := tr.Profile
@@ -119,37 +100,46 @@ func NewSystem(cfg Config, tr *trace.Trace) (*System, error) {
 		if err != nil {
 			return nil, fmt.Errorf("core: building tenant %d: %w", i, err)
 		}
-		s.spaces[sid] = as
 		tenants[sid] = as.Nested
 	}
-	if !cfg.TranslationOff {
-		if cfg.DevTLB.Sets > 0 {
-			s.devtlb = tlb.New(cfg.DevTLB)
-			if cfg.DevTLB.Policy == tlb.Oracle {
-				s.devtlb.SetFuture(tlb.NewFuture(flattenKeys(tr)))
-			}
-		}
-		if cfg.Prefetch != nil {
-			s.pu = device.NewPrefetchUnit(*cfg.Prefetch)
-		}
-		s.ptb = device.NewPTB(cfg.PTBEntries)
-		s.chipset = iommu.New(cfg.IOMMU, s.ctx, tenants)
+	env := pipeline.Env{
+		Lat: pipeline.Latencies{
+			PCIeOneWay:   cfg.Params.PCIeOneWay,
+			DRAMLatency:  cfg.Params.DRAMLatency,
+			TLBHit:       cfg.Params.TLBHit,
+			Interarrival: s.dt,
+		},
+		Ctx:        s.ctx,
+		Tenants:    tenants,
+		OracleKeys: func() []tlb.Key { return flattenKeys(tr) },
 	}
 	if o := cfg.Obs; o != nil {
 		s.otr = o.Tracer
+		env.Tracer = o.Tracer
 		if o.EngineEvents && o.Tracer != nil {
 			s.engine.SetProbe(obs.EngineProbe{T: o.Tracer})
 		}
-		s.sampleEvery = o.SampleEvery
+	}
+	chain, err := pipeline.BuildChain(cfg.PipelineSpec(), env)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	s.chain = chain
+	if o := cfg.Obs; o != nil && o.SampleEvery > 0 {
+		s.sampler = newSampler(o.SampleEvery, &s.bytes, s.chain, cfg.IOMMUWalkers)
 	}
 	return s, nil
 }
 
+// Chain returns the composed translation datapath (for describe output
+// and tests; the simulation drives it internally).
+func (s *System) Chain() *pipeline.Chain { return s.chain }
+
 // Registry returns the system's metrics registry, building it on first
-// use: every component's counter cells and occupancy gauges published
-// under stable dotted names (core.*, devtlb.*, ptb.*, prefetch.*,
-// iommu.*). The registry is a name directory over the cells the model
-// updates anyway, so calling it costs nothing on the simulation path.
+// use: every stage's counter cells and occupancy gauges published under
+// stable dotted names (core.*, devtlb.*, ptb.*, prefetch.*, iommu.*).
+// The registry is a name directory over the cells the model updates
+// anyway, so calling it costs nothing on the simulation path.
 func (s *System) Registry() *obs.Registry {
 	if s.registry == nil {
 		s.registry = obs.NewRegistry()
@@ -163,30 +153,20 @@ func (s *System) register(r *obs.Registry) {
 	r.Counter("core.drops", &s.drops)
 	r.Counter("core.bytes", &s.bytes)
 	r.Counter("core.requests", &s.requests)
-	r.Counter("core.devtlb_served", &s.devtlbServed)
-	r.Counter("core.prefetch_served", &s.prefetchServed)
+	r.Counter("core.devtlb_served", s.chain.Served("devtlb"))
+	r.Counter("core.prefetch_served", s.chain.Served("prefetch"))
 	r.Counter("core.miss_latency_ps", &s.missLatencySum)
 	r.Counter("core.misses", &s.missCount)
 	r.Histogram("core.miss_latency", &s.missHist)
-	r.Gauge("core.walkers_busy", func() float64 { return float64(s.walkersBusy) })
-	r.Gauge("core.walk_queue", func() float64 { return float64(len(s.walkQueue)) })
-	if s.devtlb != nil {
-		s.devtlb.Register(r, "devtlb")
-	}
-	if s.ptb != nil {
-		s.ptb.Register(r, "ptb")
-	}
-	if s.pu != nil {
-		s.pu.Register(r, "prefetch")
-	}
-	if s.chipset != nil {
-		s.chipset.Register(r, "iommu")
-	}
+	r.Gauge("core.walkers_busy", func() float64 { return float64(s.chain.WalkersBusy()) })
+	r.Gauge("core.walk_queue", func() float64 { return float64(s.chain.WalkQueue()) })
+	s.chain.Register(r)
 }
 
 // flattenKeys produces the DevTLB's ideal lookup sequence for Belady
 // replacement: every packet is eventually accepted exactly once, so the
-// DevTLB observes the flattened trace in order.
+// DevTLB observes the flattened trace in order. Packets is a slice, so
+// the order is the trace's — no map iteration feeds the oracle.
 func flattenKeys(tr *trace.Trace) []tlb.Key {
 	keys := make([]tlb.Key, 0, len(tr.Packets)*workload.RequestsPerPacket)
 	for _, p := range tr.Packets {
@@ -210,156 +190,32 @@ func (s *System) Run() (Result, error) {
 	// occupy N link slots and measured bandwidth can never exceed the
 	// offered rate by a fencepost.
 	s.engine.Schedule(s.dt, s.arrival)
-	if s.sampleEvery > 0 {
-		s.series = &obs.Series{Interval: s.sampleEvery}
-		s.engine.ScheduleLabeled(s.sampleEvery, "sample", s.sampleTick)
+	if s.sampler != nil {
+		s.sampler.start(s.engine)
 	}
 	s.engine.Run()
 	if s.cursor != len(s.tr.Packets) {
 		return Result{}, fmt.Errorf("core: simulation drained with %d of %d packets unprocessed",
 			len(s.tr.Packets)-s.cursor, len(s.tr.Packets))
 	}
-	if s.series != nil {
+	if s.sampler != nil {
 		// Close the final partial window so short runs still get a point.
-		if now := s.engine.Now(); now > s.lastSampleAt {
-			s.recordSample(now)
-		}
+		s.sampler.flush(s.engine.Now())
 	}
 	return s.result(), nil
 }
 
-// sampleTick is the periodic time-series sampler. It only reads model
-// state, so enabling it cannot change simulation outcomes; it
-// reschedules itself only while model events remain pending, so it
-// never keeps a drained engine alive.
-func (s *System) sampleTick(e *sim.Engine, now sim.Time) {
-	s.recordSample(now)
-	if e.Pending() > 0 {
-		e.ScheduleLabeled(s.sampleEvery, "sample", s.sampleTick)
+func packetRequests(p workload.Packet) [workload.RequestsPerPacket]pipeline.Request {
+	return [workload.RequestsPerPacket]pipeline.Request{
+		{SID: p.SID, IOVA: p.Ring, Shift: workload.PageShiftOf(p.Ring)},
+		{SID: p.SID, IOVA: p.Data, Shift: workload.PageShiftOf(p.Data)},
+		{SID: p.SID, IOVA: p.Mailbox, Shift: workload.PageShiftOf(p.Mailbox)},
 	}
 }
 
-// recordSample appends one Point covering the window since the previous
-// sample. Rates are windowed deltas, not cumulative averages, so the
-// series shows transients (PTB fill-up, prefetcher warm-up) that the
-// end-of-run Result integrates away.
-func (s *System) recordSample(now sim.Time) {
-	window := now.Sub(s.lastSampleAt)
-	if window <= 0 {
-		return
-	}
-	p := obs.Point{T: int64(now)}
-	bytes := s.bytes.Value()
-	p.Gbps = float64((bytes-s.prevBytes)*8) / window.Seconds() / 1e9
-	s.prevBytes = bytes
-	if s.ptb != nil {
-		p.PTBInUse = s.ptb.InUse()
-	}
-	if s.devtlb != nil {
-		st := s.devtlb.Stats()
-		if dl := st.Lookups - s.prevDevLookups; dl > 0 {
-			p.DevTLBHitRate = float64(st.Hits-s.prevDevHits) / float64(dl)
-		}
-		s.prevDevHits, s.prevDevLookups = st.Hits, st.Lookups
-	}
-	if s.pu != nil {
-		st := s.pu.Stats().Buffer
-		if dl := st.Lookups - s.prevPBLookups; dl > 0 {
-			p.PBHitRate = float64(st.Hits-s.prevPBHits) / float64(dl)
-		}
-		s.prevPBHits, s.prevPBLookups = st.Hits, st.Lookups
-	}
-	p.WalkersBusy = s.walkersBusy
-	if s.cfg.IOMMUWalkers > 0 {
-		p.WalkerUtil = float64(s.walkersBusy) / float64(s.cfg.IOMMUWalkers)
-	}
-	s.series.Points = append(s.series.Points, p)
-	s.lastSampleAt = now
-}
-
-func (s *System) result() Result {
-	r := Result{
-		Packets:        s.packets.Value(),
-		Drops:          s.drops.Value(),
-		Bytes:          s.bytes.Value(),
-		Elapsed:        sim.Duration(s.lastCompletion),
-		Requests:       s.requests.Value(),
-		DevTLBServed:   s.devtlbServed.Value(),
-		PrefetchServed: s.prefetchServed.Value(),
-		Series:         s.series,
-	}
-	if s.lastCompletion > 0 {
-		r.AchievedGbps = float64(r.Bytes*8) / sim.Duration(s.lastCompletion).Seconds() / 1e9
-		r.Utilization = r.AchievedGbps / s.cfg.Params.LinkGbps
-	}
-	if n := s.missCount.Value(); n > 0 {
-		r.AvgMissLatency = sim.Duration(s.missLatencySum.Value()) / sim.Duration(n)
-	}
-	if len(s.tenantLat) > 0 {
-		// Deterministic order: floating-point accumulation must not
-		// depend on map iteration, or identical runs diverge bitwise.
-		sids := make([]int, 0, len(s.tenantLat))
-		for sid := range s.tenantLat {
-			sids = append(sids, int(sid))
-		}
-		sort.Ints(sids)
-		var sum, sumSq float64
-		first := true
-		for _, sid := range sids {
-			tl := s.tenantLat[mem.SID(sid)]
-			if tl.count == 0 {
-				continue
-			}
-			mean := float64(tl.sum) / float64(tl.count)
-			sum += mean
-			sumSq += mean * mean
-			m := sim.Duration(mean)
-			if first || m < r.MinTenantLatency {
-				r.MinTenantLatency = m
-			}
-			if m > r.MaxTenantLatency {
-				r.MaxTenantLatency = m
-			}
-			if tl.worst > r.WorstPacket {
-				r.WorstPacket = tl.worst
-			}
-			first = false
-		}
-		if n := float64(len(s.tenantLat)); sumSq > 0 {
-			r.LatencyFairness = sum * sum / (n * sumSq)
-		}
-	}
-	if s.devtlb != nil {
-		r.DevTLB = s.devtlb.Stats()
-	}
-	if s.ptb != nil {
-		r.PTB = s.ptb.Stats()
-	}
-	if s.pu != nil {
-		r.Prefetch = s.pu.Stats()
-	}
-	if s.chipset != nil {
-		r.IOMMU = s.chipset.Stats()
-	}
-	return r
-}
-
-// request is one translation of a packet, resolved against the canonical
-// layout.
-type request struct {
-	iova  uint64
-	shift uint8
-}
-
-func packetRequests(p workload.Packet) [workload.RequestsPerPacket]request {
-	return [workload.RequestsPerPacket]request{
-		{p.Ring, workload.PageShiftOf(p.Ring)},
-		{p.Data, workload.PageShiftOf(p.Data)},
-		{p.Mailbox, workload.PageShiftOf(p.Mailbox)},
-	}
-}
-
-// arrival models one packet slot on the I/O link.
+// arrival models one packet slot on the I/O link. The chain methods are
+// total — an absent stage admits/misses/no-ops — so this path never
+// branches on which stages the configuration composed.
 func (s *System) arrival(e *sim.Engine, now sim.Time) {
 	if s.cursor >= len(s.tr.Packets) {
 		return // trace consumed; in-flight work drains the engine
@@ -381,7 +237,7 @@ func (s *System) arrival(e *sim.Engine, now sim.Time) {
 	// Driver unmaps are tied to the packet's first arrival attempt:
 	// the guest recycled the page whether or not the device drops.
 	if pkt.UnmapIOVA != 0 && !s.unmapApplied {
-		s.invalidate(pkt.SID, pkt.UnmapIOVA, pkt.UnmapShift)
+		s.chain.Invalidate(pkt.SID, pkt.UnmapIOVA, pkt.UnmapShift)
 		s.unmapApplied = true
 	}
 
@@ -391,10 +247,11 @@ func (s *System) arrival(e *sim.Engine, now sim.Time) {
 		return
 	}
 
-	// The device allocates the packet's PTB context before translating;
-	// without a free entry the packet is dropped and the link slot is
-	// lost (the source retries at the next arrival time, §IV-C).
-	if !s.ptb.Alloc() {
+	// The device allocates the packet's admission slot before
+	// translating; without a free entry the packet is dropped and the
+	// link slot is lost (the source retries at the next arrival time,
+	// §IV-C).
+	if !s.chain.Admit() {
 		s.drops.Inc()
 		if s.otr != nil {
 			s.otr.Emit(obs.Event{T: int64(now), Ev: "drop", SID: uint16(pkt.SID)})
@@ -406,38 +263,14 @@ func (s *System) arrival(e *sim.Engine, now sim.Time) {
 	s.unmapApplied = false
 	started := s.firstAttempt
 	s.haveAttempt = false
-	if s.pu != nil {
-		s.pu.Predictor().Observe(pkt.SID)
-	}
+	s.chain.Observe(pkt.SID)
 
 	ctx := &packetCtx{}
-	var misses [workload.RequestsPerPacket]request
+	var misses [workload.RequestsPerPacket]pipeline.Request
 	for _, rq := range packetRequests(pkt) {
 		s.requests.Inc()
-		key := iommu.PageKey(pkt.SID, rq.iova, rq.shift)
-		if s.devtlb != nil {
-			if _, ok := s.devtlb.Lookup(key); ok {
-				s.devtlbServed.Inc()
-				if s.otr != nil {
-					s.otr.Emit(obs.Event{T: int64(now), Ev: "devtlb_hit",
-						SID: uint16(pkt.SID), IOVA: obs.Hex(rq.iova), Shift: rq.shift})
-				}
-				continue
-			}
-		}
-		if s.pu != nil {
-			if _, ok := s.pu.Lookup(key); ok {
-				s.prefetchServed.Inc()
-				if s.otr != nil {
-					s.otr.Emit(obs.Event{T: int64(now), Ev: "prefetch_hit",
-						SID: uint16(pkt.SID), IOVA: obs.Hex(rq.iova), Shift: rq.shift})
-				}
-				continue
-			}
-		}
-		if s.otr != nil {
-			s.otr.Emit(obs.Event{T: int64(now), Ev: "devtlb_miss",
-				SID: uint16(pkt.SID), IOVA: obs.Hex(rq.iova), Shift: rq.shift})
+		if s.chain.Lookup(e, rq) {
+			continue
 		}
 		misses[ctx.outstanding] = rq
 		ctx.outstanding++
@@ -452,16 +285,14 @@ func (s *System) arrival(e *sim.Engine, now sim.Time) {
 		ctx.sid, ctx.started = pkt.SID, started
 		if s.cfg.SerialRequests {
 			ctx.queue = append(ctx.queue, misses[:ctx.outstanding]...)
-			s.startMiss(e, pkt.SID, ctx.queue[0], ctx)
+			s.startMiss(e, ctx.queue[0], ctx)
 			ctx.queue = ctx.queue[1:]
 		} else {
 			for _, rq := range misses[:ctx.outstanding] {
-				s.startMiss(e, pkt.SID, rq, ctx)
+				s.startMiss(e, rq, ctx)
 			}
 		}
-		if s.pu != nil {
-			s.maybePrefetch(e, pkt.SID)
-		}
+		s.chain.MaybePrefetch(e, pkt.SID)
 	}
 	e.Schedule(s.dt, s.arrival)
 }
@@ -480,156 +311,40 @@ func (s *System) acceptNative(e *sim.Engine, now sim.Time, pkt workload.Packet) 
 func (s *System) finishPacket(now sim.Time) {
 	s.packets.Inc()
 	s.bytes.Add(uint64(s.cfg.Params.PacketBytes))
-	if s.ptb != nil && !s.cfg.TranslationOff {
-		s.ptb.Release()
-	}
+	s.chain.ReleaseSlot()
 	if now > s.lastCompletion {
 		s.lastCompletion = now
 	}
 }
 
 // packetCtx counts a packet's in-flight translations; the packet (and
-// its PTB entry) completes when the counter drains. In serial mode the
-// not-yet-issued translations wait in queue.
+// its admission slot) completes when the counter drains. In serial mode
+// the not-yet-issued translations wait in queue.
 type packetCtx struct {
 	outstanding int
-	queue       []request
+	queue       []pipeline.Request
 	sid         mem.SID
 	started     sim.Time
 }
 
-// acquireWalker runs task now if a chipset walker is free (or the pool is
-// unlimited), otherwise queues it. The task must call releaseWalker when
-// its memory accesses finish.
-func (s *System) acquireWalker(e *sim.Engine, task func(*sim.Engine)) {
-	if s.cfg.IOMMUWalkers > 0 && s.walkersBusy >= s.cfg.IOMMUWalkers {
-		s.walkQueue = append(s.walkQueue, task)
-		return
-	}
-	s.walkersBusy++
-	task(e)
-}
-
-// releaseWalker frees a walker, immediately handing it to the next queued
-// translation if any.
-func (s *System) releaseWalker(e *sim.Engine) {
-	if len(s.walkQueue) > 0 {
-		next := s.walkQueue[0]
-		s.walkQueue = s.walkQueue[1:]
-		next(e)
-		return
-	}
-	s.walkersBusy--
-}
-
-// startMiss runs one translation through PCIe -> chipset -> PCIe.
-func (s *System) startMiss(e *sim.Engine, sid mem.SID, rq request, ctx *packetCtx) {
+// startMiss sends one translation down the chain's resolver and folds
+// the completion into the packet's context and the miss-latency cells.
+func (s *System) startMiss(e *sim.Engine, rq pipeline.Request, ctx *packetCtx) {
 	issued := e.Now()
-	probe := s.cfg.Params.TLBHit
-	e.Schedule(probe+s.cfg.Params.PCIeOneWay, func(e *sim.Engine, _ sim.Time) {
-		s.acquireWalker(e, func(e *sim.Engine) {
-			res, err := s.chipset.Translate(sid, rq.iova, rq.shift, true)
-			if err != nil {
-				panic(fmt.Sprintf("core: translate SID %d iova %#x: %v", sid, rq.iova, err))
-			}
-			lat := sim.Duration(res.MemAccesses) * s.cfg.Params.DRAMLatency
-			if res.IOTLBHit {
-				lat += s.cfg.Params.TLBHit
-			}
-			if s.otr != nil {
-				s.otr.Emit(obs.Event{T: int64(e.Now()), Ev: "walk_start",
-					SID: uint16(sid), IOVA: obs.Hex(rq.iova), Shift: rq.shift, N: res.MemAccesses})
-			}
-			e.Schedule(lat, func(e *sim.Engine, wnow sim.Time) {
-				if s.otr != nil {
-					s.otr.Emit(obs.Event{T: int64(wnow), Ev: "walk_end",
-						SID: uint16(sid), IOVA: obs.Hex(rq.iova), DurPs: int64(lat)})
-				}
-				s.releaseWalker(e)
-			})
-			e.Schedule(lat+s.cfg.Params.PCIeOneWay, func(_ *sim.Engine, done sim.Time) {
-				if s.devtlb != nil {
-					pageMask := uint64(1)<<rq.shift - 1
-					s.devtlb.Insert(tlb.Entry{
-						Key:       iommu.PageKey(sid, rq.iova, rq.shift),
-						Value:     res.HPA &^ pageMask,
-						PageShift: rq.shift,
-					})
-				}
-				d := done.Sub(issued)
-				s.missLatencySum.Add(uint64(d))
-				s.missCount.Inc()
-				s.missHist.Observe(uint64(d))
-				ctx.outstanding--
-				if len(ctx.queue) > 0 {
-					next := ctx.queue[0]
-					ctx.queue = ctx.queue[1:]
-					s.startMiss(e, sid, next, ctx)
-				} else if ctx.outstanding == 0 {
-					s.finishPacket(done)
-					s.recordTenantLatency(ctx.sid, done, done.Sub(ctx.started))
-				}
-			})
-		})
-	})
-}
-
-// maybePrefetch issues a prefetch for the predicted SID, modelling the
-// chipset's IOVA history reader.
-func (s *System) maybePrefetch(e *sim.Engine, current mem.SID) {
-	target, ok := s.pu.ShouldPrefetch(current)
-	if !ok {
-		return
-	}
-	triggered := e.Now()
-	if s.otr != nil {
-		s.otr.Emit(obs.Event{T: int64(triggered), Ev: "prefetch_issue", SID: uint16(target)})
-	}
-	p := s.cfg.Params
-	e.Schedule(p.PCIeOneWay, func(e *sim.Engine, _ sim.Time) {
-		// The IOVA history reader claims one walker: it reads the
-		// per-DID history from memory, then walks the fetched gIOVAs
-		// back to back.
-		s.acquireWalker(e, func(e *sim.Engine) {
-			recent := s.chipset.History().Recent(target, s.pu.Config().Degree)
-			if len(recent) == 0 {
-				if s.otr != nil {
-					s.otr.Emit(obs.Event{T: int64(e.Now()), Ev: "prefetch_abort", SID: uint16(target)})
-				}
-				s.pu.Abort(target)
-				s.releaseWalker(e)
-				return
-			}
-			total := p.DRAMLatency // history read
-			entries := make([]tlb.Entry, 0, len(recent))
-			for _, h := range recent {
-				res, err := s.chipset.Translate(target, h.IOVA, h.PageShift, false)
-				if err != nil {
-					continue // page was unmapped while the prefetch was in flight
-				}
-				total += sim.Duration(res.MemAccesses) * p.DRAMLatency
-				if res.IOTLBHit {
-					total += p.TLBHit
-				}
-				pageMask := uint64(1)<<h.PageShift - 1
-				entries = append(entries, tlb.Entry{
-					Key:       iommu.PageKey(target, h.IOVA, h.PageShift),
-					Value:     res.HPA &^ pageMask,
-					PageShift: h.PageShift,
-				})
-			}
-			e.Schedule(total, func(e *sim.Engine, _ sim.Time) { s.releaseWalker(e) })
-			e.Schedule(total+p.PCIeOneWay, func(_ *sim.Engine, done sim.Time) {
-				if s.otr != nil {
-					s.otr.Emit(obs.Event{T: int64(done), Ev: "prefetch_fill",
-						SID: uint16(target), N: len(entries), DurPs: int64(done.Sub(triggered))})
-				}
-				// Report the observed trigger-to-fill latency in requests
-				// so the host can retune the history-length register.
-				latencyRequests := int(float64(done.Sub(triggered)) / float64(s.dt) * workload.RequestsPerPacket)
-				s.pu.Complete(target, entries, latencyRequests)
-			})
-		})
+	s.chain.Resolve(e, rq, func(e *sim.Engine, done sim.Time) {
+		d := done.Sub(issued)
+		s.missLatencySum.Add(uint64(d))
+		s.missCount.Inc()
+		s.missHist.Observe(uint64(d))
+		ctx.outstanding--
+		if len(ctx.queue) > 0 {
+			next := ctx.queue[0]
+			ctx.queue = ctx.queue[1:]
+			s.startMiss(e, next, ctx)
+		} else if ctx.outstanding == 0 {
+			s.finishPacket(done)
+			s.recordTenantLatency(ctx.sid, done, done.Sub(ctx.started))
+		}
 	})
 }
 
@@ -649,18 +364,5 @@ func (s *System) recordTenantLatency(sid mem.SID, done sim.Time, d sim.Duration)
 	tl.count++
 	if d > tl.worst {
 		tl.worst = d
-	}
-}
-
-// invalidate broadcasts a driver unmap to every caching structure.
-func (s *System) invalidate(sid mem.SID, iova uint64, shift uint8) {
-	if s.devtlb != nil {
-		s.devtlb.Invalidate(iommu.PageKey(sid, iova, shift))
-	}
-	if s.pu != nil {
-		s.pu.Invalidate(sid, iova, shift)
-	}
-	if s.chipset != nil {
-		s.chipset.Invalidate(sid, iova, shift)
 	}
 }

@@ -79,6 +79,9 @@ func New(cfg Config, ctxTable *mem.ContextTable, tenants map[mem.SID]*mem.Nested
 	return u
 }
 
+// Config returns the chipset's configuration.
+func (u *IOMMU) Config() Config { return u.cfg }
+
 // Result reports what one translation did.
 type Result struct {
 	HPA uint64

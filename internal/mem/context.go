@@ -1,6 +1,9 @@
 package mem
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // SID is a Source ID: the PCIe Bus/Device/Function identity of a tenant's
 // virtual function. The hypervisor assigns SIDs when a VF is attached, so
@@ -47,11 +50,14 @@ func (ct *ContextTable) Lookup(sid SID) (ContextEntry, error) {
 // Len reports the number of installed entries.
 func (ct *ContextTable) Len() int { return len(ct.entries) }
 
-// SIDs returns all installed SIDs in unspecified order.
+// SIDs returns all installed SIDs in ascending order. The order is
+// pinned so that any consumer walking every tenant (sweeps, serializers,
+// future invalidate-all commands) is deterministic by construction.
 func (ct *ContextTable) SIDs() []SID {
 	out := make([]SID, 0, len(ct.entries))
 	for sid := range ct.entries {
 		out = append(out, sid)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }

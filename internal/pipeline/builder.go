@@ -1,0 +1,200 @@
+package pipeline
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hypertrio/internal/device"
+	"hypertrio/internal/iommu"
+	"hypertrio/internal/mem"
+	"hypertrio/internal/obs"
+	"hypertrio/internal/tlb"
+)
+
+// StageSpec describes one stage of a datapath: a builder kind plus the
+// parameters that kind consumes (the other fields are ignored). Specs
+// are pure data — comparing, printing and persisting them never touches
+// simulation state.
+type StageSpec struct {
+	// Kind names a registered stage builder ("ptb", "devtlb",
+	// "prefetch-buffer", "chipset", "history-reader").
+	Kind string
+	// Entries sizes the admission stage ("ptb").
+	Entries int
+	// Cache is the geometry and policy of a cache stage ("devtlb").
+	Cache tlb.Config
+	// Prefetch parametrizes the prefetch-buffer stage.
+	Prefetch device.PrefetchConfig
+	// IOMMU parametrizes the chipset stage.
+	IOMMU iommu.Config
+	// Walkers bounds the chipset stage's walk concurrency (0 = unlimited).
+	Walkers int
+}
+
+// Spec is a whole datapath: stages in probe/refill order, device side
+// first. An empty spec builds the empty chain (the native path).
+type Spec struct {
+	Stages []StageSpec
+}
+
+// Env is the world a chain is built into: physical latencies, the
+// observability tracer, and the memory system the chipset walks.
+type Env struct {
+	Lat    Latencies
+	Tracer *obs.Tracer
+	// Ctx and Tenants are the context table and per-tenant nested page
+	// tables the chipset stage translates against.
+	Ctx     *mem.ContextTable
+	Tenants map[mem.SID]*mem.NestedTable
+	// OracleKeys supplies the flattened future access sequence for
+	// Belady-policy cache stages; consulted only when such a stage is in
+	// the spec. Nil leaves the future unset (Describe-only builds).
+	OracleKeys func() []tlb.Key
+}
+
+// Builder constructs one stage from its spec. The Build carries what
+// earlier stages established (walker pool, prefetch unit, chipset), so
+// later stages can bind to them.
+type Builder func(spec StageSpec, b *Build) (Stage, error)
+
+// Build is the under-construction chain state passed through builders.
+type Build struct {
+	Env Env
+
+	// Handles published by earlier stages for later ones.
+	Pool         *WalkerPool
+	PrefetchUnit *device.PrefetchUnit
+	Chipset      *iommu.IOMMU
+}
+
+var builders = map[string]Builder{}
+
+// RegisterBuilder adds a stage kind to the registry. Registering a
+// duplicate kind panics: builders are wired at init time and a collision
+// is a programming error.
+func RegisterBuilder(kind string, fn Builder) {
+	if _, dup := builders[kind]; dup {
+		panic(fmt.Sprintf("pipeline: duplicate stage builder %q", kind))
+	}
+	builders[kind] = fn
+}
+
+// BuilderKinds lists the registered stage kinds, sorted.
+func BuilderKinds() []string {
+	kinds := make([]string, 0, len(builders))
+	for k := range builders {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	return kinds
+}
+
+func init() {
+	RegisterBuilder("ptb", func(spec StageSpec, b *Build) (Stage, error) {
+		if spec.Entries <= 0 {
+			return nil, fmt.Errorf("ptb stage needs Entries > 0, got %d", spec.Entries)
+		}
+		return &AdmissionStage{ptb: device.NewPTB(spec.Entries)}, nil
+	})
+	RegisterBuilder("devtlb", func(spec StageSpec, b *Build) (Stage, error) {
+		cfg := spec.Cache
+		if cfg.Name == "" {
+			cfg.Name = "devtlb"
+		}
+		cache := tlb.New(cfg)
+		if cfg.Policy == tlb.Oracle && b.Env.OracleKeys != nil {
+			cache.SetFuture(tlb.NewFuture(b.Env.OracleKeys()))
+		}
+		return &CacheStage{name: cfg.Name, cache: cache}, nil
+	})
+	RegisterBuilder("prefetch-buffer", func(spec StageSpec, b *Build) (Stage, error) {
+		st := &PrefetchBufferStage{pu: device.NewPrefetchUnit(spec.Prefetch)}
+		b.PrefetchUnit = st.pu
+		return st, nil
+	})
+	RegisterBuilder("chipset", func(spec StageSpec, b *Build) (Stage, error) {
+		b.Pool = NewWalkerPool(spec.Walkers)
+		b.Chipset = iommu.New(spec.IOMMU, b.Env.Ctx, b.Env.Tenants)
+		return &ChipsetStage{
+			mmu: b.Chipset, pool: b.Pool, lat: b.Env.Lat,
+			tracer: b.Env.Tracer, walkers: spec.Walkers,
+		}, nil
+	})
+	RegisterBuilder("history-reader", func(spec StageSpec, b *Build) (Stage, error) {
+		if b.PrefetchUnit == nil || b.Chipset == nil {
+			return nil, fmt.Errorf("history-reader needs prefetch-buffer and chipset stages earlier in the spec")
+		}
+		return &HistoryReaderStage{
+			pu: b.PrefetchUnit, mmu: b.Chipset, pool: b.Pool,
+			lat: b.Env.Lat, tracer: b.Env.Tracer,
+		}, nil
+	})
+}
+
+// BuildChain composes a chain from a spec: each stage is built by its
+// registered builder in spec order, then bound into its roles (probe,
+// admitter, resolver, issuer). An empty spec yields the empty chain.
+func BuildChain(spec Spec, env Env) (*Chain, error) {
+	b := &Build{Env: env}
+	c := &Chain{
+		tracer: env.Tracer,
+		pool:   NewWalkerPool(0),
+		admit:  noopAdmitter{},
+		issuer: noopIssuer{},
+		served: map[string]*obs.Counter{},
+		caches: map[string]*CacheStage{},
+	}
+	c.resolver = panicResolver{}
+	for _, ss := range spec.Stages {
+		builder := builders[ss.Kind]
+		if builder == nil {
+			return nil, fmt.Errorf("pipeline: unknown stage kind %q (registered: %s)",
+				ss.Kind, strings.Join(BuilderKinds(), ", "))
+		}
+		st, err := builder(ss, b)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: building %q stage: %w", ss.Kind, err)
+		}
+		c.stages = append(c.stages, st)
+		if a, ok := st.(Admitter); ok {
+			c.admit = a
+		}
+		if r, ok := st.(Resolver); ok {
+			c.resolver = r
+		}
+		if i, ok := st.(Issuer); ok {
+			c.issuer = i
+		}
+		switch v := st.(type) {
+		case *AdmissionStage:
+			c.admission = v
+		case *CacheStage:
+			c.caches[v.Name()] = v
+		case *PrefetchBufferStage:
+			c.pb = v
+		case *ChipsetStage:
+			c.chipset = v
+		}
+	}
+	if b.Pool != nil {
+		c.pool = b.Pool
+	}
+	for _, st := range c.stages {
+		if p, ok := st.(Prober); ok {
+			c.probes = append(c.probes, p)
+			c.probeServed = append(c.probeServed, c.Served(p.Name()))
+			c.probeHitEv = append(c.probeHitEv, p.HitEvent())
+		}
+	}
+	// Demand completions refill the device-side probe stages in order.
+	if c.chipset != nil {
+		for _, p := range c.probes {
+			c.chipset.fills = append(c.chipset.fills, p)
+		}
+	}
+	if len(c.stages) > 0 && c.chipset == nil {
+		return nil, fmt.Errorf("pipeline: spec has stages but no resolver (chipset) stage")
+	}
+	return c, nil
+}

@@ -1,0 +1,212 @@
+package pipeline
+
+import (
+	"fmt"
+	"strings"
+
+	"hypertrio/internal/device"
+	"hypertrio/internal/iommu"
+	"hypertrio/internal/mem"
+	"hypertrio/internal/obs"
+	"hypertrio/internal/sim"
+	"hypertrio/internal/tlb"
+)
+
+// missEvent is the trace event emitted when no device-side probe stage
+// serves a request. The name is fixed for schema stability
+// (hypertrio-trace/1): it stays "devtlb_miss" even in chains without a
+// DevTLB, where it marks the request leaving the device.
+const missEvent = "devtlb_miss"
+
+// Chain is a composed translation datapath. Every method is total: an
+// empty chain (the TranslationOff native path) admits everything and
+// reports zeroes, so the performance model never branches on which
+// stages exist.
+type Chain struct {
+	stages []Stage
+	tracer *obs.Tracer
+	pool   *WalkerPool
+
+	// Role bindings resolved at build time; no-op placeholders keep the
+	// packet path branch-free when a role is absent.
+	admit    Admitter
+	resolver Resolver
+	issuer   Issuer
+
+	// Device-side probe order with the per-stage served counters and hit
+	// event names, precomputed so Lookup is one tight loop.
+	probes      []Prober
+	probeServed []*obs.Counter
+	probeHitEv  []string
+	served      map[string]*obs.Counter
+
+	// Concrete handles for stats/sampling views (nil when absent — these
+	// feed accessors that return zero values, never the packet path).
+	admission *AdmissionStage
+	caches    map[string]*CacheStage
+	pb        *PrefetchBufferStage
+	chipset   *ChipsetStage
+}
+
+// Admit takes an admission slot for one packet (always true without an
+// admission stage).
+func (c *Chain) Admit() bool { return c.admit.Admit() }
+
+// ReleaseSlot frees the admission slot at packet completion.
+func (c *Chain) ReleaseSlot() { c.admit.Release() }
+
+// Observe feeds the accepted packet stream to the prefetch predictor.
+func (c *Chain) Observe(sid mem.SID) { c.issuer.Observe(sid) }
+
+// Lookup probes the device-side stages in chain order. A hit bumps the
+// serving stage's counter and emits its hit event; a full miss emits the
+// miss event and returns false — the caller then resolves via Resolve.
+func (c *Chain) Lookup(e *sim.Engine, rq Request) bool {
+	for i, p := range c.probes {
+		if p.Lookup(rq) {
+			c.probeServed[i].Inc()
+			if c.tracer != nil {
+				c.tracer.Emit(obs.Event{T: int64(e.Now()), Ev: c.probeHitEv[i],
+					SID: uint16(rq.SID), IOVA: obs.Hex(rq.IOVA), Shift: rq.Shift})
+			}
+			return true
+		}
+	}
+	if c.tracer != nil {
+		c.tracer.Emit(obs.Event{T: int64(e.Now()), Ev: missEvent,
+			SID: uint16(rq.SID), IOVA: obs.Hex(rq.IOVA), Shift: rq.Shift})
+	}
+	return false
+}
+
+// Resolve sends a demand miss down to the resolver stage; done fires at
+// the completion time, after the device-side stages were refilled.
+func (c *Chain) Resolve(e *sim.Engine, rq Request, done func(*sim.Engine, sim.Time)) {
+	c.resolver.Resolve(e, rq, done)
+}
+
+// MaybePrefetch gives the issuing stage a chance to start a prefetch
+// after a demand miss by current.
+func (c *Chain) MaybePrefetch(e *sim.Engine, current mem.SID) { c.issuer.Issue(e, current) }
+
+// Invalidate broadcasts a driver unmap to every stage, in chain order
+// (device side first, then the chipset — one invalidation command).
+func (c *Chain) Invalidate(sid mem.SID, iova uint64, shift uint8) {
+	for _, st := range c.stages {
+		st.Invalidate(sid, iova, shift)
+	}
+}
+
+// Register publishes every stage's cells under its stage name, plus the
+// walker-pool gauges the sampler reads.
+func (c *Chain) Register(r *obs.Registry) {
+	for _, st := range c.stages {
+		st.Register(r, st.Name())
+	}
+}
+
+// Served returns the counter of demand requests answered by the named
+// probe stage. The cell exists (at zero, never incremented) even when
+// the stage is absent, so callers can register and read it
+// unconditionally.
+func (c *Chain) Served(name string) *obs.Counter {
+	if c.served[name] == nil {
+		c.served[name] = &obs.Counter{}
+	}
+	return c.served[name]
+}
+
+// Stages returns the composed stages in chain order.
+func (c *Chain) Stages() []Stage { return c.stages }
+
+// WalkersBusy returns how many chipset walkers are currently held.
+func (c *Chain) WalkersBusy() int { return c.pool.Busy() }
+
+// WalkQueue returns how many translations wait for a walker.
+func (c *Chain) WalkQueue() int { return c.pool.Queued() }
+
+// PTBInUse returns the admission stage's occupied slots (0 if absent).
+func (c *Chain) PTBInUse() int {
+	if c.admission == nil {
+		return 0
+	}
+	return c.admission.PTB().InUse()
+}
+
+// PTBStats returns the admission stage's counters (zero if absent).
+func (c *Chain) PTBStats() device.PTBStats {
+	if c.admission == nil {
+		return device.PTBStats{}
+	}
+	return c.admission.PTB().Stats()
+}
+
+// CacheStats returns the named cache stage's traffic (zero if absent).
+func (c *Chain) CacheStats(name string) tlb.Stats {
+	if st := c.caches[name]; st != nil {
+		return st.Cache().Stats()
+	}
+	return tlb.Stats{}
+}
+
+// PrefetchStats returns the prefetch unit's counters (zero if absent).
+func (c *Chain) PrefetchStats() device.PrefetchStats {
+	if c.pb == nil {
+		return device.PrefetchStats{}
+	}
+	return c.pb.Unit().Stats()
+}
+
+// IOMMUStats returns the chipset's counters (zero if absent).
+func (c *Chain) IOMMUStats() iommu.Stats {
+	if c.chipset == nil {
+		return iommu.Stats{}
+	}
+	return c.chipset.IOMMU().Stats()
+}
+
+// Describe renders the resolved datapath, one numbered line per stage.
+func (c *Chain) Describe() string {
+	if len(c.stages) == 0 {
+		return "translation off: native path, every packet completes in one TLB-hit latency\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "translation datapath (%d stages):\n", len(c.stages))
+	for i, st := range c.stages {
+		fmt.Fprintf(&b, "  %d. %-16s %s\n", i+1, st.Name(), st.Describe())
+	}
+	return b.String()
+}
+
+// noopAdmitter admits everything; it backs chains without an admission
+// stage (the native path).
+type noopAdmitter struct{}
+
+func (noopAdmitter) Name() string                      { return "admit-all" }
+func (noopAdmitter) Lookup(Request) bool               { return false }
+func (noopAdmitter) Fill(Request, uint64)              {}
+func (noopAdmitter) Invalidate(mem.SID, uint64, uint8) {}
+func (noopAdmitter) Register(*obs.Registry, string)    {}
+func (noopAdmitter) Describe() string                  { return "admit everything" }
+func (noopAdmitter) Admit() bool                       { return true }
+func (noopAdmitter) Release()                          {}
+
+// noopIssuer never prefetches; it backs chains without a history reader.
+type noopIssuer struct{}
+
+func (noopIssuer) Name() string                      { return "no-prefetch" }
+func (noopIssuer) Lookup(Request) bool               { return false }
+func (noopIssuer) Fill(Request, uint64)              {}
+func (noopIssuer) Invalidate(mem.SID, uint64, uint8) {}
+func (noopIssuer) Register(*obs.Registry, string)    {}
+func (noopIssuer) Describe() string                  { return "no prefetching" }
+func (noopIssuer) Observe(mem.SID)                   {}
+func (noopIssuer) Issue(*sim.Engine, mem.SID)        {}
+
+// panicResolver backs chains that have stages but no resolver; BuildChain
+// rejects such specs, so reaching it is a bug.
+type panicResolver struct{ noopIssuer }
+
+func (panicResolver) Resolve(*sim.Engine, Request, func(*sim.Engine, sim.Time)) {
+	panic("pipeline: chain has no resolver stage")
+}

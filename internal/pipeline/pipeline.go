@@ -1,0 +1,108 @@
+// Package pipeline decomposes the translation datapath into composable
+// stages. The paper's architecture is explicitly staged — PTB admission,
+// the on-device DevTLB and Prefetch Buffer, then the chipset's context
+// cache, optional IOTLB, partitioned L2/L3 page-walk caches and bounded
+// walker pool, with the IOVA history reader issuing prefetches — and
+// this package makes each of those a Stage value behind one interface,
+// composed into a Chain by a stage-builder registry.
+//
+// Which stages exist, in what order, with what geometry and policies is
+// a Spec — data, not code — so the Base design, the full HyperTRIO
+// design, and future variants (shared chipset IOTLB, pseudo-LRU DevTLB,
+// new levels entirely) are configurations rather than branches inside
+// the performance model. internal/core drives the Chain from the event
+// kernel; stages charge latency by scheduling against the sim.Engine.
+package pipeline
+
+import (
+	"hypertrio/internal/iommu"
+	"hypertrio/internal/mem"
+	"hypertrio/internal/obs"
+	"hypertrio/internal/sim"
+	"hypertrio/internal/tlb"
+)
+
+// Request is one translation demand flowing down the datapath.
+type Request struct {
+	SID   mem.SID
+	IOVA  uint64
+	Shift uint8 // native page-size class of the mapping
+}
+
+// Key returns the request's cache key at its native granule.
+func (r Request) Key() tlb.Key { return iommu.PageKey(r.SID, r.IOVA, r.Shift) }
+
+// Stage is one level of the translation datapath. Lookup and Fill are
+// the synchronous cache-like face (a stage that is not a lookup
+// structure answers false / ignores fills); Invalidate propagates a
+// driver unmap; Register publishes the stage's observability cells under
+// its name. Asynchronous work — walks, prefetches — is expressed by the
+// capability interfaces below, which schedule completions against the
+// sim.Engine rather than blocking.
+type Stage interface {
+	// Name identifies the stage: its metrics prefix in the registry and
+	// its label in Describe output.
+	Name() string
+	// Lookup consults the stage for a demand request, updating
+	// replacement state on a hit.
+	Lookup(rq Request) bool
+	// Fill installs a completed translation (hpaBase is the host
+	// physical base of the mapped page). Stages that are not demand-fill
+	// targets ignore it.
+	Fill(rq Request, hpaBase uint64)
+	// Invalidate drops cached state for one unmapped page.
+	Invalidate(sid mem.SID, iova uint64, shift uint8)
+	// Register publishes the stage's metric cells under prefix.
+	Register(r *obs.Registry, prefix string)
+	// Describe returns a one-line human summary of the stage's
+	// configuration (geometry, policies).
+	Describe() string
+}
+
+// Prober marks device-side stages consulted synchronously at packet
+// arrival, in chain order, before a miss travels to the resolver.
+// HitEvent names the trace event emitted when the stage serves a
+// request ("devtlb_hit", "prefetch_hit").
+type Prober interface {
+	Stage
+	HitEvent() string
+}
+
+// Admitter is the admission stage: a packet must take a slot before its
+// translations issue, and frees it at completion. A chain without an
+// admitter admits everything.
+type Admitter interface {
+	Stage
+	// Admit takes one slot, reporting whether one was available.
+	Admit() bool
+	// Release frees the slot taken by Admit.
+	Release()
+}
+
+// Resolver is the terminal stage: it resolves a demand miss
+// asynchronously (PCIe to the chipset, the nested walk, PCIe back),
+// refills the device-side probe stages, and calls done at the
+// completion time.
+type Resolver interface {
+	Stage
+	Resolve(e *sim.Engine, rq Request, done func(*sim.Engine, sim.Time))
+}
+
+// Issuer is the prefetch-issuing stage: Observe feeds it the accepted
+// packet stream; Issue gives it the chance to start an asynchronous
+// prefetch after a demand miss.
+type Issuer interface {
+	Stage
+	Observe(sid mem.SID)
+	Issue(e *sim.Engine, current mem.SID)
+}
+
+// Latencies are the physical model parameters the datapath charges
+// (paper Table II), plus the link slot gap the history reader uses to
+// express observed prefetch latency in requests.
+type Latencies struct {
+	PCIeOneWay   sim.Duration
+	DRAMLatency  sim.Duration
+	TLBHit       sim.Duration
+	Interarrival sim.Duration
+}

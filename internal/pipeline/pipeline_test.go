@@ -1,0 +1,305 @@
+package pipeline
+
+import (
+	"strings"
+	"testing"
+
+	"hypertrio/internal/device"
+	"hypertrio/internal/iommu"
+	"hypertrio/internal/mem"
+	"hypertrio/internal/obs"
+	"hypertrio/internal/sim"
+	"hypertrio/internal/tlb"
+)
+
+func testEnv() Env {
+	return Env{
+		Lat: Latencies{
+			PCIeOneWay:   450 * sim.Nanosecond,
+			DRAMLatency:  50 * sim.Nanosecond,
+			TLBHit:       2 * sim.Nanosecond,
+			Interarrival: 60 * sim.Nanosecond,
+		},
+		Ctx: mem.NewContextTable(),
+	}
+}
+
+func devtlbSpec() StageSpec {
+	return StageSpec{Kind: "devtlb", Cache: tlb.Config{
+		Name: "devtlb", Sets: 4, Ways: 4, Policy: tlb.LRU, Index: tlb.ByAddress,
+	}}
+}
+
+func chipsetSpec() StageSpec {
+	return StageSpec{Kind: "chipset", IOMMU: iommu.Config{
+		ContextCache: iommu.DefaultContextCache(),
+		L2PWC:        tlb.Config{Name: "l2pwc", Sets: 4, Ways: 4, Policy: tlb.LRU, Index: tlb.ByAddress},
+		L3PWC:        tlb.Config{Name: "l3pwc", Sets: 4, Ways: 4, Policy: tlb.LRU, Index: tlb.ByAddress},
+	}}
+}
+
+func prefetchSpec() StageSpec {
+	return StageSpec{Kind: "prefetch-buffer", Prefetch: device.DefaultPrefetchConfig()}
+}
+
+func TestWalkerPoolBoundsConcurrency(t *testing.T) {
+	e := sim.NewEngine()
+	p := NewWalkerPool(2)
+	var ran int
+	task := func(*sim.Engine) { ran++ }
+	p.Acquire(e, task)
+	p.Acquire(e, task)
+	p.Acquire(e, task) // queues: both walkers busy
+	if ran != 2 || p.Busy() != 2 || p.Queued() != 1 {
+		t.Fatalf("ran=%d busy=%d queued=%d, want 2/2/1", ran, p.Busy(), p.Queued())
+	}
+	p.Release(e) // hands the walker straight to the queued task
+	if ran != 3 || p.Busy() != 2 || p.Queued() != 0 {
+		t.Fatalf("after release: ran=%d busy=%d queued=%d, want 3/2/0", ran, p.Busy(), p.Queued())
+	}
+	p.Release(e)
+	p.Release(e)
+	if p.Busy() != 0 {
+		t.Fatalf("busy=%d after all releases", p.Busy())
+	}
+}
+
+func TestWalkerPoolUnlimited(t *testing.T) {
+	e := sim.NewEngine()
+	p := NewWalkerPool(0)
+	var ran int
+	for i := 0; i < 10; i++ {
+		p.Acquire(e, func(*sim.Engine) { ran++ })
+	}
+	if ran != 10 || p.Queued() != 0 {
+		t.Fatalf("unlimited pool queued work: ran=%d queued=%d", ran, p.Queued())
+	}
+}
+
+func TestBuildChainErrors(t *testing.T) {
+	env := testEnv()
+	cases := []struct {
+		name string
+		spec Spec
+		want string
+	}{
+		{"unknown kind", Spec{Stages: []StageSpec{{Kind: "quantum-tlb"}}}, "unknown stage kind"},
+		{"ptb without entries", Spec{Stages: []StageSpec{{Kind: "ptb"}, chipsetSpec()}}, "Entries > 0"},
+		{"history reader without prereqs", Spec{Stages: []StageSpec{chipsetSpec(), {Kind: "history-reader"}}}, "prefetch-buffer"},
+		{"stages but no resolver", Spec{Stages: []StageSpec{{Kind: "ptb", Entries: 4}}}, "no resolver"},
+	}
+	for _, tc := range cases {
+		if _, err := BuildChain(tc.spec, env); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestEmptyChainIsTotal pins the native-path contract: every chain method
+// works on the empty chain, so core never branches on stage presence.
+func TestEmptyChainIsTotal(t *testing.T) {
+	c, err := BuildChain(Spec{}, testEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := sim.NewEngine()
+	if !c.Admit() {
+		t.Fatal("empty chain refused admission")
+	}
+	c.ReleaseSlot()
+	c.Observe(1)
+	c.MaybePrefetch(e, 1)
+	c.Invalidate(1, 0x1000, 12)
+	if c.Lookup(e, Request{SID: 1, IOVA: 0x1000, Shift: 12}) {
+		t.Fatal("empty chain claimed a hit")
+	}
+	if c.WalkersBusy() != 0 || c.WalkQueue() != 0 || c.PTBInUse() != 0 {
+		t.Fatal("empty chain reports occupancy")
+	}
+	if s := c.CacheStats("devtlb"); s != (tlb.Stats{}) {
+		t.Fatalf("empty chain cache stats: %+v", s)
+	}
+	if got := c.Describe(); !strings.Contains(got, "translation off") {
+		t.Fatalf("empty chain describe: %q", got)
+	}
+	if c.Served("devtlb").Value() != 0 {
+		t.Fatal("served counter non-zero")
+	}
+}
+
+// recorderStage is a registered test stage that records invalidate
+// broadcasts — it doubles as the proof that new stage kinds compose via
+// the builder registry without touching the chain.
+type recorderStage struct {
+	calls []tlb.Key
+}
+
+func (st *recorderStage) Name() string         { return "recorder" }
+func (st *recorderStage) Lookup(Request) bool  { return false }
+func (st *recorderStage) Fill(Request, uint64) {}
+func (st *recorderStage) Invalidate(sid mem.SID, iova uint64, shift uint8) {
+	st.calls = append(st.calls, iommu.PageKey(sid, iova, shift))
+}
+func (st *recorderStage) Register(*obs.Registry, string) {}
+func (st *recorderStage) Describe() string               { return "records invalidations" }
+
+func init() {
+	RegisterBuilder("recorder", func(StageSpec, *Build) (Stage, error) {
+		return &recorderStage{}, nil
+	})
+}
+
+// TestInvalidatePropagation checks that a chain-level invalidate reaches
+// every composed stage, across all enabled-stage combinations.
+func TestInvalidatePropagation(t *testing.T) {
+	const (
+		sid   = mem.SID(3)
+		iova  = uint64(0x7000)
+		shift = uint8(12)
+	)
+	key := iommu.PageKey(sid, iova, shift)
+	combos := []struct {
+		name             string
+		devtlb, prefetch bool
+	}{
+		{"chipset only", false, false},
+		{"devtlb", true, false},
+		{"prefetch", false, true},
+		{"devtlb+prefetch", true, true},
+	}
+	for _, combo := range combos {
+		t.Run(combo.name, func(t *testing.T) {
+			spec := Spec{Stages: []StageSpec{{Kind: "ptb", Entries: 4}}}
+			if combo.devtlb {
+				spec.Stages = append(spec.Stages, devtlbSpec())
+			}
+			if combo.prefetch {
+				spec.Stages = append(spec.Stages, prefetchSpec())
+			}
+			spec.Stages = append(spec.Stages, chipsetSpec(), StageSpec{Kind: "recorder"})
+			if combo.prefetch {
+				spec.Stages = append(spec.Stages, StageSpec{Kind: "history-reader"})
+			}
+			c, err := BuildChain(spec, testEnv())
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Seed every translation-holding stage with the page.
+			var rec *recorderStage
+			for _, st := range c.Stages() {
+				switch v := st.(type) {
+				case *CacheStage:
+					v.Fill(Request{SID: sid, IOVA: iova, Shift: shift}, 0xBEEF000)
+				case *PrefetchBufferStage:
+					v.Unit().Complete(sid, []tlb.Entry{{Key: key, Value: 0xBEEF000, PageShift: shift}}, 0)
+				case *recorderStage:
+					rec = v
+				}
+			}
+			e := sim.NewEngine()
+			if combo.devtlb || combo.prefetch {
+				if !c.Lookup(e, Request{SID: sid, IOVA: iova, Shift: shift}) {
+					t.Fatal("seeded page not found before invalidate")
+				}
+			}
+
+			c.Invalidate(sid, iova, shift)
+
+			if c.Lookup(e, Request{SID: sid, IOVA: iova, Shift: shift}) {
+				t.Fatal("page still served after invalidate")
+			}
+			if len(rec.calls) != 1 || rec.calls[0] != key {
+				t.Fatalf("recorder stage saw %v, want exactly [%v]", rec.calls, key)
+			}
+			// The broadcast must also reach stages individually, not just
+			// miss at the chain level.
+			for _, st := range c.Stages() {
+				switch v := st.(type) {
+				case *CacheStage:
+					if _, ok := v.Cache().Lookup(key); ok {
+						t.Fatalf("stage %s still holds the page", v.Name())
+					}
+				case *PrefetchBufferStage:
+					if _, ok := v.Unit().Lookup(key); ok {
+						t.Fatal("prefetch buffer still holds the page")
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestServedCountsPerStage checks the chain's hit attribution: a request
+// present only in the prefetch buffer is credited to it, not the DevTLB.
+func TestServedCountsPerStage(t *testing.T) {
+	spec := Spec{Stages: []StageSpec{
+		{Kind: "ptb", Entries: 4}, devtlbSpec(), prefetchSpec(),
+		chipsetSpec(), {Kind: "history-reader"},
+	}}
+	c, err := BuildChain(spec, testEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := iommu.PageKey(1, 0x3000, 12)
+	for _, st := range c.Stages() {
+		if v, ok := st.(*PrefetchBufferStage); ok {
+			v.Unit().Complete(1, []tlb.Entry{{Key: key, Value: 0xF000, PageShift: 12}}, 0)
+		}
+	}
+	e := sim.NewEngine()
+	if !c.Lookup(e, Request{SID: 1, IOVA: 0x3000, Shift: 12}) {
+		t.Fatal("prefetched page not served")
+	}
+	if got := c.Served("prefetch").Value(); got != 1 {
+		t.Fatalf("prefetch served = %d, want 1", got)
+	}
+	if got := c.Served("devtlb").Value(); got != 0 {
+		t.Fatalf("devtlb served = %d, want 0", got)
+	}
+}
+
+// TestDescribeListsStages pins the -describe rendering to the composed
+// stage names in order.
+func TestDescribeListsStages(t *testing.T) {
+	spec := Spec{Stages: []StageSpec{
+		{Kind: "ptb", Entries: 32}, devtlbSpec(), prefetchSpec(),
+		chipsetSpec(), {Kind: "history-reader"},
+	}}
+	c, err := BuildChain(spec, testEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := c.Describe()
+	last := -1
+	for _, name := range []string{"ptb", "devtlb", "prefetch", "iommu", "history-reader"} {
+		i := strings.Index(got, name)
+		if i < 0 {
+			t.Fatalf("describe output missing %q:\n%s", name, got)
+		}
+		if i < last {
+			t.Fatalf("describe lists %q out of order:\n%s", name, got)
+		}
+		last = i
+	}
+}
+
+func TestBuilderKindsSorted(t *testing.T) {
+	kinds := BuilderKinds()
+	for _, want := range []string{"chipset", "devtlb", "history-reader", "prefetch-buffer", "ptb"} {
+		found := false
+		for _, k := range kinds {
+			if k == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("builder registry missing %q: %v", want, kinds)
+		}
+	}
+	for i := 1; i < len(kinds); i++ {
+		if kinds[i-1] >= kinds[i] {
+			t.Fatalf("kinds not sorted: %v", kinds)
+		}
+	}
+}

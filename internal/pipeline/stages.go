@@ -1,0 +1,269 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"hypertrio/internal/device"
+	"hypertrio/internal/iommu"
+	"hypertrio/internal/mem"
+	"hypertrio/internal/obs"
+	"hypertrio/internal/sim"
+	"hypertrio/internal/tlb"
+	"hypertrio/internal/workload"
+)
+
+// AdmissionStage wraps the Pending Translation Buffer as the chain's
+// admitter: a packet allocates its in-flight translation context here or
+// is dropped and retried by the link model.
+type AdmissionStage struct {
+	ptb *device.PTB
+}
+
+func (st *AdmissionStage) Name() string                       { return "ptb" }
+func (st *AdmissionStage) Lookup(Request) bool                { return false }
+func (st *AdmissionStage) Fill(Request, uint64)               {}
+func (st *AdmissionStage) Invalidate(mem.SID, uint64, uint8)  {}
+func (st *AdmissionStage) Register(r *obs.Registry, p string) { st.ptb.Register(r, p) }
+func (st *AdmissionStage) Admit() bool                        { return st.ptb.Alloc() }
+func (st *AdmissionStage) Release()                           { st.ptb.Release() }
+
+// PTB exposes the underlying buffer for occupancy sampling and stats.
+func (st *AdmissionStage) PTB() *device.PTB { return st.ptb }
+
+func (st *AdmissionStage) Describe() string {
+	return fmt.Sprintf("admission: %d pending-translation slots (drop + retry when full)",
+		st.ptb.Capacity())
+}
+
+// CacheStage wraps a tlb.Cache as a device-side probe level — the
+// DevTLB in every shipped configuration, but any geometry/policy/name
+// can be composed in.
+type CacheStage struct {
+	name  string
+	cache *tlb.Cache
+}
+
+func (st *CacheStage) Name() string     { return st.name }
+func (st *CacheStage) HitEvent() string { return st.name + "_hit" }
+
+func (st *CacheStage) Lookup(rq Request) bool {
+	_, ok := st.cache.Lookup(rq.Key())
+	return ok
+}
+
+func (st *CacheStage) Fill(rq Request, hpaBase uint64) {
+	st.cache.Insert(tlb.Entry{Key: rq.Key(), Value: hpaBase, PageShift: rq.Shift})
+}
+
+func (st *CacheStage) Invalidate(sid mem.SID, iova uint64, shift uint8) {
+	st.cache.Invalidate(iommu.PageKey(sid, iova, shift))
+}
+
+func (st *CacheStage) Register(r *obs.Registry, p string) { st.cache.Register(r, p) }
+
+// Cache exposes the underlying structure for stats and tests.
+func (st *CacheStage) Cache() *tlb.Cache { return st.cache }
+
+func (st *CacheStage) Describe() string {
+	cfg := st.cache.Config()
+	return fmt.Sprintf("cache: %d sets x %d ways (%d entries), %s replacement, %s indexing",
+		cfg.Sets, cfg.Ways, cfg.Entries(), cfg.Policy, cfg.Index)
+}
+
+// PrefetchBufferStage wraps the Prefetch Unit's buffer as a device-side
+// probe level. Demand completions do not fill it — only prefetch
+// completions install entries, via the history reader.
+type PrefetchBufferStage struct {
+	pu *device.PrefetchUnit
+}
+
+func (st *PrefetchBufferStage) Name() string     { return "prefetch" }
+func (st *PrefetchBufferStage) HitEvent() string { return "prefetch_hit" }
+
+func (st *PrefetchBufferStage) Lookup(rq Request) bool {
+	_, ok := st.pu.Lookup(rq.Key())
+	return ok
+}
+
+func (st *PrefetchBufferStage) Fill(Request, uint64) {}
+
+func (st *PrefetchBufferStage) Invalidate(sid mem.SID, iova uint64, shift uint8) {
+	st.pu.Invalidate(sid, iova, shift)
+}
+
+func (st *PrefetchBufferStage) Register(r *obs.Registry, p string) { st.pu.Register(r, p) }
+
+// Unit exposes the prefetch unit for stats and the history reader.
+func (st *PrefetchBufferStage) Unit() *device.PrefetchUnit { return st.pu }
+
+func (st *PrefetchBufferStage) Describe() string {
+	cfg := st.pu.Config()
+	adaptive := "fixed"
+	if cfg.AdaptiveHistory {
+		adaptive = "adaptive"
+	}
+	return fmt.Sprintf("prefetch buffer: %d entries (fully associative, LRU), degree %d, %s history (len %d)",
+		cfg.BufferEntries, cfg.Degree, adaptive, cfg.HistoryLen)
+}
+
+// ChipsetStage is the resolver: it carries a demand miss over PCIe to
+// the chipset, claims a walker, runs the translation (context cache,
+// optional IOTLB, page-walk caches, nested walk), charges the memory
+// latency, refills the device-side probe stages and completes back over
+// PCIe.
+type ChipsetStage struct {
+	mmu     *iommu.IOMMU
+	pool    *WalkerPool
+	lat     Latencies
+	tracer  *obs.Tracer
+	fills   []Stage // device-side stages refilled by demand completions
+	walkers int     // configured cap (0 = unlimited), for Describe
+}
+
+func (st *ChipsetStage) Name() string         { return "iommu" }
+func (st *ChipsetStage) Lookup(Request) bool  { return false }
+func (st *ChipsetStage) Fill(Request, uint64) {}
+
+func (st *ChipsetStage) Invalidate(sid mem.SID, iova uint64, shift uint8) {
+	st.mmu.Invalidate(sid, iova, shift)
+}
+
+func (st *ChipsetStage) Register(r *obs.Registry, p string) { st.mmu.Register(r, p) }
+
+// IOMMU exposes the chipset model for stats and the history reader.
+func (st *ChipsetStage) IOMMU() *iommu.IOMMU { return st.mmu }
+
+func (st *ChipsetStage) Resolve(e *sim.Engine, rq Request, done func(*sim.Engine, sim.Time)) {
+	lat := st.lat
+	e.Schedule(lat.TLBHit+lat.PCIeOneWay, func(e *sim.Engine, _ sim.Time) {
+		st.pool.Acquire(e, func(e *sim.Engine) {
+			res, err := st.mmu.Translate(rq.SID, rq.IOVA, rq.Shift, true)
+			if err != nil {
+				panic(fmt.Sprintf("pipeline: translate SID %d iova %#x: %v", rq.SID, rq.IOVA, err))
+			}
+			walk := sim.Duration(res.MemAccesses) * lat.DRAMLatency
+			if res.IOTLBHit {
+				walk += lat.TLBHit
+			}
+			if st.tracer != nil {
+				st.tracer.Emit(obs.Event{T: int64(e.Now()), Ev: "walk_start",
+					SID: uint16(rq.SID), IOVA: obs.Hex(rq.IOVA), Shift: rq.Shift, N: res.MemAccesses})
+			}
+			e.Schedule(walk, func(e *sim.Engine, wnow sim.Time) {
+				if st.tracer != nil {
+					st.tracer.Emit(obs.Event{T: int64(wnow), Ev: "walk_end",
+						SID: uint16(rq.SID), IOVA: obs.Hex(rq.IOVA), DurPs: int64(walk)})
+				}
+				st.pool.Release(e)
+			})
+			e.Schedule(walk+lat.PCIeOneWay, func(e *sim.Engine, doneAt sim.Time) {
+				base := res.HPA &^ (uint64(1)<<rq.Shift - 1)
+				for _, f := range st.fills {
+					f.Fill(rq, base)
+				}
+				done(e, doneAt)
+			})
+		})
+	})
+}
+
+func (st *ChipsetStage) Describe() string {
+	c := st.mmu.Config()
+	iotlb := "off"
+	if c.IOTLB.Sets > 0 {
+		iotlb = fmt.Sprintf("%dx%d %s %s", c.IOTLB.Sets, c.IOTLB.Ways, c.IOTLB.Policy, c.IOTLB.Index)
+	}
+	walkers := "unlimited walkers"
+	if st.walkers > 0 {
+		walkers = fmt.Sprintf("%d walkers", st.walkers)
+	}
+	return fmt.Sprintf("chipset: context cache %d-entry %s; IOTLB %s; L2 PWC %dx%d %s %s; L3 PWC %dx%d %s %s; %s",
+		c.ContextCache.Entries(), c.ContextCache.Policy, iotlb,
+		c.L2PWC.Sets, c.L2PWC.Ways, c.L2PWC.Policy, c.L2PWC.Index,
+		c.L3PWC.Sets, c.L3PWC.Ways, c.L3PWC.Policy, c.L3PWC.Index, walkers)
+}
+
+// HistoryReaderStage is the chipset's IOVA history reader driven by the
+// device's SID-predictor: after a demand miss it may claim a walker,
+// read the predicted tenant's per-DID history from memory, translate the
+// fetched gIOVAs back to back and install them into the Prefetch Buffer.
+type HistoryReaderStage struct {
+	pu     *device.PrefetchUnit
+	mmu    *iommu.IOMMU
+	pool   *WalkerPool
+	lat    Latencies
+	tracer *obs.Tracer
+}
+
+func (st *HistoryReaderStage) Name() string                      { return "history-reader" }
+func (st *HistoryReaderStage) Lookup(Request) bool               { return false }
+func (st *HistoryReaderStage) Fill(Request, uint64)              {}
+func (st *HistoryReaderStage) Invalidate(mem.SID, uint64, uint8) {}
+
+// Register is a no-op: the prefetch unit's cells (including the
+// predictor this stage drives) are published by the PrefetchBufferStage
+// under "prefetch", and double registration would panic the registry.
+func (st *HistoryReaderStage) Register(*obs.Registry, string) {}
+
+func (st *HistoryReaderStage) Observe(sid mem.SID) { st.pu.Predictor().Observe(sid) }
+
+func (st *HistoryReaderStage) Issue(e *sim.Engine, current mem.SID) {
+	target, ok := st.pu.ShouldPrefetch(current)
+	if !ok {
+		return
+	}
+	triggered := e.Now()
+	if st.tracer != nil {
+		st.tracer.Emit(obs.Event{T: int64(triggered), Ev: "prefetch_issue", SID: uint16(target)})
+	}
+	lat := st.lat
+	e.Schedule(lat.PCIeOneWay, func(e *sim.Engine, _ sim.Time) {
+		// The history reader claims one walker: it reads the per-DID
+		// history from memory, then walks the fetched gIOVAs back to back.
+		st.pool.Acquire(e, func(e *sim.Engine) {
+			recent := st.mmu.History().Recent(target, st.pu.Config().Degree)
+			if len(recent) == 0 {
+				if st.tracer != nil {
+					st.tracer.Emit(obs.Event{T: int64(e.Now()), Ev: "prefetch_abort", SID: uint16(target)})
+				}
+				st.pu.Abort(target)
+				st.pool.Release(e)
+				return
+			}
+			total := lat.DRAMLatency // history read
+			entries := make([]tlb.Entry, 0, len(recent))
+			for _, h := range recent {
+				res, err := st.mmu.Translate(target, h.IOVA, h.PageShift, false)
+				if err != nil {
+					continue // page was unmapped while the prefetch was in flight
+				}
+				total += sim.Duration(res.MemAccesses) * lat.DRAMLatency
+				if res.IOTLBHit {
+					total += lat.TLBHit
+				}
+				pageMask := uint64(1)<<h.PageShift - 1
+				entries = append(entries, tlb.Entry{
+					Key:       iommu.PageKey(target, h.IOVA, h.PageShift),
+					Value:     res.HPA &^ pageMask,
+					PageShift: h.PageShift,
+				})
+			}
+			e.Schedule(total, func(e *sim.Engine, _ sim.Time) { st.pool.Release(e) })
+			e.Schedule(total+lat.PCIeOneWay, func(_ *sim.Engine, done sim.Time) {
+				if st.tracer != nil {
+					st.tracer.Emit(obs.Event{T: int64(done), Ev: "prefetch_fill",
+						SID: uint16(target), N: len(entries), DurPs: int64(done.Sub(triggered))})
+				}
+				// Report the observed trigger-to-fill latency in requests
+				// so the host can retune the history-length register.
+				latencyRequests := int(float64(done.Sub(triggered)) / float64(lat.Interarrival) * workload.RequestsPerPacket)
+				st.pu.Complete(target, entries, latencyRequests)
+			})
+		})
+	})
+}
+
+func (st *HistoryReaderStage) Describe() string {
+	return fmt.Sprintf("history reader: degree-%d prefetch of the predicted tenant's recent IOVAs",
+		st.pu.Config().Degree)
+}

@@ -1,0 +1,51 @@
+package pipeline
+
+import "hypertrio/internal/sim"
+
+// WalkerPool models the chipset's bounded page-table-walker concurrency:
+// a translation that reaches the chipset must hold a walker for the
+// duration of its memory accesses; excess work queues FIFO. A capacity
+// of zero means unlimited (the paper's latency-only model).
+type WalkerPool struct {
+	capacity int
+	busy     int
+	queue    []func(*sim.Engine)
+}
+
+// NewWalkerPool builds a pool with the given capacity (0 = unlimited).
+func NewWalkerPool(capacity int) *WalkerPool {
+	return &WalkerPool{capacity: capacity}
+}
+
+// Acquire runs task now if a walker is free (or the pool is unlimited),
+// otherwise queues it. The task must call Release when its memory
+// accesses finish.
+func (p *WalkerPool) Acquire(e *sim.Engine, task func(*sim.Engine)) {
+	if p.capacity > 0 && p.busy >= p.capacity {
+		p.queue = append(p.queue, task)
+		return
+	}
+	p.busy++
+	task(e)
+}
+
+// Release frees a walker, immediately handing it to the next queued
+// translation if any.
+func (p *WalkerPool) Release(e *sim.Engine) {
+	if len(p.queue) > 0 {
+		next := p.queue[0]
+		p.queue = p.queue[1:]
+		next(e)
+		return
+	}
+	p.busy--
+}
+
+// Busy returns the number of walkers currently held.
+func (p *WalkerPool) Busy() int { return p.busy }
+
+// Queued returns the number of translations waiting for a walker.
+func (p *WalkerPool) Queued() int { return len(p.queue) }
+
+// Capacity returns the pool size (0 = unlimited).
+func (p *WalkerPool) Capacity() int { return p.capacity }

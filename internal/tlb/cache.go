@@ -12,7 +12,6 @@ package tlb
 
 import (
 	"fmt"
-	"math/rand"
 
 	"hypertrio/internal/obs"
 )
@@ -81,8 +80,11 @@ func (c Config) validate() error {
 	if c.Ways <= 0 {
 		return fmt.Errorf("tlb: %s: ways must be positive, got %d", c.Name, c.Ways)
 	}
-	if c.Policy < LRU || c.Policy > Oracle {
+	if c.Policy < LRU || c.Policy > PLRU {
 		return fmt.Errorf("tlb: %s: unknown policy %d", c.Name, c.Policy)
+	}
+	if c.Policy == PLRU && (c.Ways&(c.Ways-1) != 0 || c.Ways > 64) {
+		return fmt.Errorf("tlb: %s: PLRU needs a power-of-two way count <= 64, got %d", c.Name, c.Ways)
 	}
 	return nil
 }
@@ -135,8 +137,13 @@ type Cache struct {
 	cfg    Config
 	sets   [][]slot
 	tick   uint64
-	rng    *rand.Rand
 	future *Future
+
+	// Policy values resolved from the configuration: how a key picks its
+	// set (partitioning) and how a full set picks its victim
+	// (replacement). See policy.go for the implementations.
+	index indexFunc
+	repl  replacer
 
 	// Traffic counters as observability cells (see Stats / Register).
 	lookups     obs.Counter
@@ -158,9 +165,8 @@ func New(cfg Config) *Cache {
 	for i := range c.sets {
 		c.sets[i] = make([]slot, cfg.Ways)
 	}
-	if cfg.Policy == Random {
-		c.rng = rand.New(rand.NewSource(cfg.Seed))
-	}
+	c.index = newIndexFunc(cfg.Index)
+	c.repl = newReplacer(cfg, c)
 	return c
 }
 
@@ -206,18 +212,7 @@ func (c *Cache) Register(r *obs.Registry, prefix string) {
 // access when Policy == Oracle.
 func (c *Cache) SetFuture(f *Future) { c.future = f }
 
-func (c *Cache) setIndex(k Key) int {
-	switch c.cfg.Index {
-	case BySID:
-		return int(k.SID) & (c.cfg.Sets - 1)
-	case Hashed:
-		// Fibonacci-style mix of tag and SID.
-		h := (k.Tag ^ uint64(k.SID)*0x9E3779B1) * 0x9E3779B97F4A7C15 >> 33
-		return int(h & uint64(c.cfg.Sets-1))
-	default:
-		return int(k.Tag & uint64(c.cfg.Sets-1))
-	}
-}
+func (c *Cache) setIndex(k Key) int { return c.index(k, c.cfg.Sets) }
 
 // Lookup searches for key. On a hit it updates replacement metadata and
 // returns the entry. Every access that the oracle should know about must
@@ -225,10 +220,9 @@ func (c *Cache) setIndex(k Key) int {
 func (c *Cache) Lookup(key Key) (Entry, bool) {
 	c.tick++
 	c.lookups.Inc()
-	if c.cfg.Policy == Oracle && c.future != nil {
-		c.future.Observe(key)
-	}
-	set := c.sets[c.setIndex(key)]
+	c.repl.onLookup(key)
+	si := c.setIndex(key)
+	set := c.sets[si]
 	for i := range set {
 		s := &set[i]
 		if s.valid && s.entry.Key == key {
@@ -237,11 +231,7 @@ func (c *Cache) Lookup(key Key) (Entry, bool) {
 			if s.freq < lfuMax {
 				s.freq++
 			}
-			if s.freq == lfuMax && c.cfg.Policy == LFU {
-				for j := range set {
-					set[j].freq /= 2
-				}
-			}
+			c.repl.onHit(si, set, i)
 			return s.entry, true
 		}
 	}
@@ -265,12 +255,14 @@ func (c *Cache) Peek(key Key) (Entry, bool) {
 func (c *Cache) Insert(e Entry) {
 	c.tick++
 	c.insertions.Inc()
-	set := c.sets[c.setIndex(e.Key)]
+	si := c.setIndex(e.Key)
+	set := c.sets[si]
 	// Refresh in place if present.
 	for i := range set {
 		if set[i].valid && set[i].entry.Key == e.Key {
 			set[i].entry = e
 			set[i].lastUse = c.tick
+			c.repl.onInsert(si, set, i)
 			return
 		}
 	}
@@ -278,58 +270,14 @@ func (c *Cache) Insert(e Entry) {
 	for i := range set {
 		if !set[i].valid {
 			set[i] = slot{valid: true, entry: e, lastUse: c.tick, inserted: c.tick, freq: 1}
+			c.repl.onInsert(si, set, i)
 			return
 		}
 	}
-	victim := c.victim(set)
+	victim := c.repl.victim(si, set)
 	c.evictions.Inc()
 	set[victim] = slot{valid: true, entry: e, lastUse: c.tick, inserted: c.tick, freq: 1}
-}
-
-// victim selects the way to evict from a full set.
-func (c *Cache) victim(set []slot) int {
-	switch c.cfg.Policy {
-	case LRU:
-		best := 0
-		for i := 1; i < len(set); i++ {
-			if set[i].lastUse < set[best].lastUse {
-				best = i
-			}
-		}
-		return best
-	case LFU:
-		best := 0
-		for i := 1; i < len(set); i++ {
-			if set[i].freq < set[best].freq ||
-				(set[i].freq == set[best].freq && set[i].lastUse < set[best].lastUse) {
-				best = i
-			}
-		}
-		return best
-	case FIFO:
-		best := 0
-		for i := 1; i < len(set); i++ {
-			if set[i].inserted < set[best].inserted {
-				best = i
-			}
-		}
-		return best
-	case Random:
-		return c.rng.Intn(len(set))
-	case Oracle:
-		if c.future == nil {
-			panic("tlb: oracle cache used without SetFuture")
-		}
-		best, bestNext := 0, c.future.Next(set[0].entry.Key)
-		for i := 1; i < len(set); i++ {
-			n := c.future.Next(set[i].entry.Key)
-			if n > bestNext {
-				best, bestNext = i, n
-			}
-		}
-		return best
-	}
-	panic(fmt.Sprintf("tlb: unreachable policy %d", c.cfg.Policy))
+	c.repl.onInsert(si, set, victim)
 }
 
 // Invalidate removes the entry for key if present, returning whether it was.

@@ -1,0 +1,21 @@
+package tlb
+
+// indexFunc maps a key to a set index — the cache's partitioning policy
+// as a value. sets is always a power of two.
+type indexFunc func(k Key, sets int) int
+
+// newIndexFunc builds the set-selection function for an index mode.
+func newIndexFunc(mode IndexMode) indexFunc {
+	switch mode {
+	case BySID:
+		return func(k Key, sets int) int { return int(k.SID) & (sets - 1) }
+	case Hashed:
+		return func(k Key, sets int) int {
+			// Fibonacci-style mix of tag and SID.
+			h := (k.Tag ^ uint64(k.SID)*0x9E3779B1) * 0x9E3779B97F4A7C15 >> 33
+			return int(h & uint64(sets-1))
+		}
+	default:
+		return func(k Key, sets int) int { return int(k.Tag & uint64(sets-1)) }
+	}
+}

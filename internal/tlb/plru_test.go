@@ -1,0 +1,102 @@
+package tlb
+
+import (
+	"strings"
+	"testing"
+)
+
+func plruCache(sets, ways int) *Cache {
+	return New(Config{Name: "t", Sets: sets, Ways: ways, Policy: PLRU, Index: ByAddress})
+}
+
+// TestPLRUVictimFollowsTree pins the tree pseudo-LRU decision on a 4-way
+// set: after touching A and B most recently, the victim must come from
+// the {C, D} half, and within it the less recently touched slot.
+func TestPLRUVictimFollowsTree(t *testing.T) {
+	c := plruCache(1, 4)
+	keys := []Key{{Tag: 10}, {Tag: 11}, {Tag: 12}, {Tag: 13}}
+	for i, k := range keys {
+		c.Insert(Entry{Key: k, Value: uint64(i)})
+	}
+	// Touch A then B: the tree now points away from both.
+	c.Lookup(keys[0])
+	c.Lookup(keys[1])
+	c.Insert(Entry{Key: Key{Tag: 14}, Value: 99})
+
+	if _, ok := c.Lookup(keys[2]); ok {
+		t.Fatal("expected C (slot 2) to be the PLRU victim, but it survived")
+	}
+	for _, k := range []Key{keys[0], keys[1], keys[3], {Tag: 14}} {
+		if _, ok := c.Lookup(k); !ok {
+			t.Fatalf("entry %v evicted, want only C gone", k)
+		}
+	}
+	if st := c.Stats(); st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+}
+
+// TestPLRUApproximatesLRUOnScan checks the coarse behaviour: under a
+// repeating scan one slot wider than the set, PLRU (like LRU) keeps
+// missing, never degenerating into keeping a fixed resident set.
+func TestPLRUApproximatesLRUOnScan(t *testing.T) {
+	c := plruCache(1, 4)
+	for round := 0; round < 3; round++ {
+		for tag := uint64(0); tag < 5; tag++ {
+			k := Key{Tag: tag}
+			if _, ok := c.Lookup(k); !ok {
+				c.Insert(Entry{Key: k, Value: tag})
+			}
+		}
+	}
+	st := c.Stats()
+	if st.Hits > st.Lookups/2 {
+		t.Fatalf("scan of 5 over 4 ways hit %d of %d — PLRU retained a fixed set", st.Hits, st.Lookups)
+	}
+}
+
+// expectPanic runs fn and reports whether it panicked with a message
+// containing want.
+func expectPanic(t *testing.T, want string, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("no panic, want one mentioning %q", want)
+		}
+		var msg string
+		switch v := r.(type) {
+		case error:
+			msg = v.Error()
+		case string:
+			msg = v
+		}
+		if !strings.Contains(msg, want) {
+			t.Fatalf("panic %q does not mention %q", msg, want)
+		}
+	}()
+	fn()
+}
+
+// TestPLRUValidation pins the geometry constraint: the bit tree needs a
+// power-of-two way count of at most 64.
+func TestPLRUValidation(t *testing.T) {
+	expectPanic(t, "PLRU", func() { plruCache(1, 3) })
+	expectPanic(t, "PLRU", func() { plruCache(1, 128) })
+	if c := plruCache(2, 64); c == nil {
+		t.Fatal("64-way PLRU rejected")
+	}
+}
+
+// TestParsePLRU covers the new policy's string round trip.
+func TestParsePLRU(t *testing.T) {
+	for _, s := range []string{"plru", "pseudo-lru", "PLRU"} {
+		p, err := ParsePolicy(s)
+		if err != nil || p != PLRU {
+			t.Fatalf("ParsePolicy(%q) = %v, %v", s, p, err)
+		}
+	}
+	if PLRU.String() != "PLRU" {
+		t.Fatalf("PLRU.String() = %q", PLRU.String())
+	}
+}
