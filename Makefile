@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test golden race race-obs vet lint bench-quick bench-obs smoke ci clean
+.PHONY: all build test golden race race-obs vet lint bench-quick bench-obs bench-smoke bench-json smoke ci clean
 
 all: build
 
@@ -52,11 +52,22 @@ bench-quick:
 bench-obs:
 	$(GO) test -bench 'BenchmarkSuiteQuickObs' -benchtime 1x -run '^$$' .
 
+# One iteration of every benchmark: catches harness rot (a benchmark
+# that panics or no longer compiles) without paying measurement time.
+bench-smoke:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# Machine-readable performance snapshot (ns/op, allocs/op, pkts/s and
+# the quick-suite wall time) written to BENCH_PR4.json. Pass
+# BENCH_BASELINE=<file> to embed deltas against a previous snapshot.
+bench-json:
+	$(GO) run ./cmd/benchjson $(if $(BENCH_BASELINE),-baseline $(BENCH_BASELINE))
+
 # CI smoke run: the reduced-scale experiment suite end to end.
 smoke:
 	$(GO) run ./cmd/experiments -quick -out results-smoke
 
-ci: build lint test golden race race-obs smoke
+ci: build lint test golden race race-obs bench-smoke smoke
 
 clean:
 	rm -rf results-smoke

@@ -1,0 +1,277 @@
+// Command benchjson captures the repository's performance trajectory as
+// machine-readable JSON: it runs the hot-path micro- and end-to-end
+// benchmarks through `go test -bench`, parses every reported metric
+// (ns/op, B/op, allocs/op and custom units like pkts/s), times a full
+// quick-scale experiment-suite regeneration in-process, and writes one
+// self-describing snapshot (schema "hypertrio-bench/1").
+//
+// Comparing two snapshots is the intended workflow:
+//
+//	go run ./cmd/benchjson -o /tmp/before.json          # on the old tree
+//	go run ./cmd/benchjson -o BENCH_PR4.json \
+//	    -baseline /tmp/before.json                      # on the new tree
+//
+// With -baseline the snapshot embeds per-benchmark ratios (speedup and
+// allocation reduction), so a committed BENCH_*.json documents not just
+// the numbers but the delta the change bought.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"hypertrio/internal/experiments"
+)
+
+// defaultBench is the hot-path set the PR gates care about; -bench
+// overrides it for broader sweeps.
+const defaultBench = "BenchmarkEndToEnd|BenchmarkEngineScheduleFire|BenchmarkIOMMUTranslate|BenchmarkNestedWalk|BenchmarkDevTLB"
+
+// Snapshot is the top-level JSON document.
+type Snapshot struct {
+	Schema     string       `json:"schema"`
+	Generated  string       `json:"generated"`
+	GoVersion  string       `json:"go_version"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	BenchTime  string       `json:"benchtime"`
+	Benchmarks []Benchmark  `json:"benchmarks"`
+	Suite      *SuiteTiming `json:"suite,omitempty"`
+	Baseline   *Comparison  `json:"baseline,omitempty"`
+}
+
+// Benchmark is one parsed `go test -bench` result line.
+type Benchmark struct {
+	Name        string             `json:"name"` // GOMAXPROCS suffix stripped
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"` // custom units (pkts/s, modelGb/s, ...)
+}
+
+// SuiteTiming is the wall-clock cost of regenerating every quick-scale
+// experiment (the same suite the golden test pins byte-for-byte).
+type SuiteTiming struct {
+	WallSeconds float64 `json:"wall_seconds"`
+	Workers     int     `json:"workers"`
+	Experiments int     `json:"experiments"`
+}
+
+// Comparison embeds the baseline file and per-benchmark deltas.
+type Comparison struct {
+	File   string           `json:"file"`
+	Deltas map[string]Delta `json:"deltas"`
+}
+
+// Delta reports how one benchmark moved against the baseline. Speedup
+// and AllocRatio are baseline/current (>1 is an improvement); custom
+// metric ratios are current/baseline (>1 is an improvement for
+// throughput-style units).
+type Delta struct {
+	Speedup      float64            `json:"speedup"`
+	AllocRatio   float64            `json:"alloc_ratio,omitempty"`
+	MetricRatios map[string]float64 `json:"metric_ratios,omitempty"`
+}
+
+func main() {
+	var (
+		out       = flag.String("o", "BENCH_PR4.json", "output path for the JSON snapshot")
+		benchRE   = flag.String("bench", defaultBench, "benchmark selection regexp passed to go test")
+		benchTime = flag.String("benchtime", "2s", "per-benchmark time passed to go test")
+		baseline  = flag.String("baseline", "", "previous snapshot to embed deltas against")
+		skipSuite = flag.Bool("skip-suite", false, "skip timing the quick experiment suite")
+	)
+	flag.Parse()
+
+	snap := Snapshot{
+		Schema:     "hypertrio-bench/1",
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		BenchTime:  *benchTime,
+	}
+
+	benches, err := runBenchmarks(*benchRE, *benchTime)
+	if err != nil {
+		fatalf("running benchmarks: %v", err)
+	}
+	snap.Benchmarks = benches
+
+	if !*skipSuite {
+		st, err := timeQuickSuite()
+		if err != nil {
+			fatalf("timing quick suite: %v", err)
+		}
+		snap.Suite = st
+	}
+
+	if *baseline != "" {
+		cmp, err := compare(*baseline, benches)
+		if err != nil {
+			fatalf("comparing against %s: %v", *baseline, err)
+		}
+		snap.Baseline = cmp
+	}
+
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fatalf("encoding: %v", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatalf("writing %s: %v", *out, err)
+	}
+	fmt.Printf("wrote %s (%d benchmarks", *out, len(snap.Benchmarks))
+	if snap.Suite != nil {
+		fmt.Printf(", quick suite %.1fs", snap.Suite.WallSeconds)
+	}
+	fmt.Println(")")
+}
+
+// runBenchmarks shells out to `go test -bench` and parses its output;
+// the subprocess keeps benchmark conditions identical to a developer's
+// command line (same harness, same flags).
+func runBenchmarks(pattern, benchTime string) ([]Benchmark, error) {
+	cmd := exec.Command("go", "test", "-run", "^$", "-bench", pattern,
+		"-benchmem", "-benchtime", benchTime, ".")
+	var outBuf bytes.Buffer
+	cmd.Stdout = &outBuf
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go test: %w\n%s", err, outBuf.String())
+	}
+	return parseBenchOutput(&outBuf)
+}
+
+// gomaxprocsSuffix strips the trailing -N the harness appends to names.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseBenchOutput reads standard `go test -bench` lines:
+//
+//	BenchmarkX/sub-8   74   34874322 ns/op   106611 pkts/s   39013 allocs/op
+func parseBenchOutput(r *bytes.Buffer) ([]Benchmark, error) {
+	var out []Benchmark
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := Benchmark{
+			Name:       gomaxprocsSuffix.ReplaceAllString(strings.TrimPrefix(fields[0], "Benchmark"), ""),
+			Iterations: iters,
+			Metrics:    map[string]float64{},
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad value %q in %q", fields[i], sc.Text())
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				b.NsPerOp = v
+			case "B/op":
+				b.BytesPerOp = v
+			case "allocs/op":
+				b.AllocsPerOp = v
+			default:
+				b.Metrics[unit] = v
+			}
+		}
+		if len(b.Metrics) == 0 {
+			b.Metrics = nil
+		}
+		out = append(out, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no benchmark lines parsed")
+	}
+	return out, nil
+}
+
+// timeQuickSuite regenerates every registered experiment at quick scale
+// in-process and reports the wall time — the number a developer feels
+// when the golden test or CI runs.
+func timeQuickSuite() (*SuiteTiming, error) {
+	workers := runtime.NumCPU()
+	opts := experiments.Options{Seed: 42, Quick: true, Workers: workers}
+	start := time.Now()
+	for _, e := range experiments.All {
+		tbl, err := e.Run(opts)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", e.ID, err)
+		}
+		if len(tbl.Rows) == 0 {
+			return nil, fmt.Errorf("%s: empty table", e.ID)
+		}
+	}
+	return &SuiteTiming{
+		WallSeconds: time.Since(start).Seconds(),
+		Workers:     workers,
+		Experiments: len(experiments.All),
+	}, nil
+}
+
+// compare loads a previous snapshot and computes per-benchmark deltas
+// for every benchmark present in both.
+func compare(path string, current []Benchmark) (*Comparison, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var prev Snapshot
+	if err := json.Unmarshal(data, &prev); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	base := make(map[string]Benchmark, len(prev.Benchmarks))
+	for _, b := range prev.Benchmarks {
+		base[b.Name] = b
+	}
+	cmp := &Comparison{File: path, Deltas: map[string]Delta{}}
+	for _, b := range current {
+		old, ok := base[b.Name]
+		if !ok || b.NsPerOp == 0 {
+			continue
+		}
+		d := Delta{Speedup: old.NsPerOp / b.NsPerOp}
+		if b.AllocsPerOp > 0 {
+			d.AllocRatio = old.AllocsPerOp / b.AllocsPerOp
+		} else if old.AllocsPerOp > 0 {
+			// Current is allocation-free; report the old count as the
+			// ratio floor rather than dividing by zero.
+			d.AllocRatio = old.AllocsPerOp
+		}
+		for unit, v := range b.Metrics {
+			if ov := old.Metrics[unit]; ov > 0 && v > 0 {
+				if d.MetricRatios == nil {
+					d.MetricRatios = map[string]float64{}
+				}
+				d.MetricRatios[unit] = v / ov
+			}
+		}
+		cmp.Deltas[b.Name] = d
+	}
+	return cmp, nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchjson: "+format+"\n", args...)
+	os.Exit(1)
+}

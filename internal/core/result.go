@@ -2,11 +2,9 @@ package core
 
 import (
 	"fmt"
-	"sort"
 
 	"hypertrio/internal/device"
 	"hypertrio/internal/iommu"
-	"hypertrio/internal/mem"
 	"hypertrio/internal/obs"
 	"hypertrio/internal/sim"
 	"hypertrio/internal/tlb"
@@ -77,39 +75,37 @@ func (s *System) result() Result {
 	if n := s.missCount.Value(); n > 0 {
 		r.AvgMissLatency = sim.Duration(s.missLatencySum.Value()) / sim.Duration(n)
 	}
-	if len(s.tenantLat) > 0 {
-		// Deterministic order: floating-point accumulation must not
-		// depend on map iteration, or identical runs diverge bitwise.
-		sids := make([]int, 0, len(s.tenantLat))
-		for sid := range s.tenantLat {
-			sids = append(sids, int(sid))
+	// tenantLat is SID-indexed, so walking it front to back is already
+	// the deterministic ascending-SID order the floating-point
+	// accumulation needs: identical runs stay bitwise identical. Tenants
+	// that completed no packet (count == 0) contribute nothing, matching
+	// the former map which only held tenants with completions.
+	var sum, sumSq float64
+	active := 0
+	first := true
+	for sid := range s.tenantLat {
+		tl := &s.tenantLat[sid]
+		if tl.count == 0 {
+			continue
 		}
-		sort.Ints(sids)
-		var sum, sumSq float64
-		first := true
-		for _, sid := range sids {
-			tl := s.tenantLat[mem.SID(sid)]
-			if tl.count == 0 {
-				continue
-			}
-			mean := float64(tl.sum) / float64(tl.count)
-			sum += mean
-			sumSq += mean * mean
-			m := sim.Duration(mean)
-			if first || m < r.MinTenantLatency {
-				r.MinTenantLatency = m
-			}
-			if m > r.MaxTenantLatency {
-				r.MaxTenantLatency = m
-			}
-			if tl.worst > r.WorstPacket {
-				r.WorstPacket = tl.worst
-			}
-			first = false
+		active++
+		mean := float64(tl.sum) / float64(tl.count)
+		sum += mean
+		sumSq += mean * mean
+		m := sim.Duration(mean)
+		if first || m < r.MinTenantLatency {
+			r.MinTenantLatency = m
 		}
-		if n := float64(len(s.tenantLat)); sumSq > 0 {
-			r.LatencyFairness = sum * sum / (n * sumSq)
+		if m > r.MaxTenantLatency {
+			r.MaxTenantLatency = m
 		}
+		if tl.worst > r.WorstPacket {
+			r.WorstPacket = tl.worst
+		}
+		first = false
+	}
+	if sumSq > 0 {
+		r.LatencyFairness = sum * sum / (float64(active) * sumSq)
 	}
 	r.DevTLB = s.chain.CacheStats("devtlb")
 	r.PTB = s.chain.PTBStats()

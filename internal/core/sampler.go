@@ -36,14 +36,15 @@ func newSampler(every sim.Duration, bytes *obs.Counter, chain *pipeline.Chain, w
 }
 
 // start schedules the first tick.
-func (sp *sampler) start(e *sim.Engine) { e.ScheduleLabeled(sp.every, "sample", sp.tick) }
+func (sp *sampler) start(e *sim.Engine) { e.ScheduleEventLabeled(sp.every, "sample", sp, 0) }
 
-// tick records one sample and reschedules itself only while model events
-// remain pending, so it never keeps a drained engine alive.
-func (sp *sampler) tick(e *sim.Engine, now sim.Time) {
+// HandleEvent records one sample and reschedules only while model events
+// remain pending, so the sampler never keeps a drained engine alive.
+// Typed self-rescheduling keeps the tick allocation-free.
+func (sp *sampler) HandleEvent(e *sim.Engine, now sim.Time, _ uint64) {
 	sp.record(now)
 	if e.Pending() > 0 {
-		e.ScheduleLabeled(sp.every, "sample", sp.tick)
+		e.ScheduleEventLabeled(sp.every, "sample", sp, 0)
 	}
 }
 

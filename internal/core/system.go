@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"hypertrio/internal/iommu"
 	"hypertrio/internal/mem"
@@ -34,6 +35,13 @@ type System struct {
 	firstAttempt sim.Time // when the packet at cursor first hit the link
 	haveAttempt  bool
 
+	// Pooled per-packet contexts. Records are recycled through a free
+	// list, so the steady-state packet path performs no allocation; the
+	// slab's high-water mark is the maximum number of packets
+	// simultaneously in flight.
+	pkts     []packetCtx
+	freePkts []uint32
+
 	// Metric cells. The registry (see Registry) names these for export;
 	// Result is a view assembled from the same cells, so there is no
 	// second accounting path to drift out of sync. Per-stage cells live
@@ -46,7 +54,10 @@ type System struct {
 	missCount      obs.Counter
 	missHist       obs.Histogram // chipset round-trip latency, ps
 	lastCompletion sim.Time
-	tenantLat      map[mem.SID]*tenantLatency
+	// tenantLat is indexed by SID (1..Tenants; slot 0 unused): tenant IDs
+	// are dense by construction, so a slice replaces the former map and
+	// the per-completion update is one index, no hashing, no allocation.
+	tenantLat []tenantLatency
 
 	// Observability (all zero when Config.Obs is unset; the simulation's
 	// outcome is byte-identical either way).
@@ -62,6 +73,12 @@ type tenantLatency struct {
 	count uint64
 	worst sim.Duration
 }
+
+// Event kinds for System's typed events (payload = kind<<32 | ctx idx).
+const (
+	evArrival = iota // one packet slot on the I/O link
+	evHitDone        // an all-hit (or native) packet's completion time
+)
 
 // NewSystem builds per-tenant page tables for every SID in the trace and
 // composes the configured translation datapath. A trace with tenants but
@@ -81,7 +98,7 @@ func NewSystem(cfg Config, tr *trace.Trace) (*System, error) {
 		dt:        cfg.Params.Interarrival(),
 		host:      mem.NewSpace("host", 0x1_0000_0000, 0),
 		ctx:       mem.NewContextTable(),
-		tenantLat: make(map[mem.SID]*tenantLatency, tr.Tenants),
+		tenantLat: make([]tenantLatency, tr.Tenants+1),
 	}
 	profile := tr.Profile
 	if err := profile.Validate(); err != nil {
@@ -163,11 +180,18 @@ func (s *System) register(r *obs.Registry) {
 	s.chain.Register(r)
 }
 
+// oracleFlattens counts flattenKeys invocations across all Systems.
+// Tests read it to assert the oracle preprocessing stays lazy: building
+// or running a non-Oracle configuration must never flatten the trace.
+var oracleFlattens atomic.Uint64
+
 // flattenKeys produces the DevTLB's ideal lookup sequence for Belady
 // replacement: every packet is eventually accepted exactly once, so the
 // DevTLB observes the flattened trace in order. Packets is a slice, so
-// the order is the trace's — no map iteration feeds the oracle.
+// the order is the trace's — no map iteration feeds the oracle. It runs
+// only when a stage asks for Env.OracleKeys (the Oracle DevTLB policy).
 func flattenKeys(tr *trace.Trace) []tlb.Key {
+	oracleFlattens.Add(1)
 	keys := make([]tlb.Key, 0, len(tr.Packets)*workload.RequestsPerPacket)
 	for _, p := range tr.Packets {
 		keys = append(keys,
@@ -179,6 +203,19 @@ func flattenKeys(tr *trace.Trace) []tlb.Key {
 	return keys
 }
 
+// start primes the engine with the first link slot and the sampler tick
+// without draining it. Run uses it; white-box tests call it and step the
+// engine manually.
+func (s *System) start() {
+	// The first slot lands one inter-arrival gap in, so that N packets
+	// occupy N link slots and measured bandwidth can never exceed the
+	// offered rate by a fencepost.
+	s.engine.ScheduleEvent(s.dt, s, evArrival<<32)
+	if s.sampler != nil {
+		s.sampler.start(s.engine)
+	}
+}
+
 // Run replays the whole trace and returns the metrics. It may be called
 // once per System. A zero-packet trace drains immediately and reports a
 // zeroed Result (no NaN rates, no division by the empty run).
@@ -186,13 +223,7 @@ func (s *System) Run() (Result, error) {
 	if s.engine.Fired() > 0 {
 		return Result{}, fmt.Errorf("core: System.Run called twice")
 	}
-	// The first slot lands one inter-arrival gap in, so that N packets
-	// occupy N link slots and measured bandwidth can never exceed the
-	// offered rate by a fencepost.
-	s.engine.Schedule(s.dt, s.arrival)
-	if s.sampler != nil {
-		s.sampler.start(s.engine)
-	}
+	s.start()
 	s.engine.Run()
 	if s.cursor != len(s.tr.Packets) {
 		return Result{}, fmt.Errorf("core: simulation drained with %d of %d packets unprocessed",
@@ -210,6 +241,21 @@ func packetRequests(p workload.Packet) [workload.RequestsPerPacket]pipeline.Requ
 		{SID: p.SID, IOVA: p.Ring, Shift: workload.PageShiftOf(p.Ring)},
 		{SID: p.SID, IOVA: p.Data, Shift: workload.PageShiftOf(p.Data)},
 		{SID: p.SID, IOVA: p.Mailbox, Shift: workload.PageShiftOf(p.Mailbox)},
+	}
+}
+
+// HandleEvent dispatches System's typed events by kind tag.
+func (s *System) HandleEvent(e *sim.Engine, now sim.Time, payload uint64) {
+	idx := uint32(payload)
+	switch payload >> 32 {
+	case evArrival:
+		s.arrival(e, now)
+	case evHitDone:
+		ctx := &s.pkts[idx]
+		sid, started := ctx.sid, ctx.started
+		s.releasePkt(idx)
+		s.finishPacket(now)
+		s.recordTenantLatency(sid, now, now.Sub(started))
 	}
 }
 
@@ -243,7 +289,7 @@ func (s *System) arrival(e *sim.Engine, now sim.Time) {
 
 	if s.cfg.TranslationOff {
 		s.acceptNative(e, now, pkt)
-		e.Schedule(s.dt, s.arrival)
+		e.ScheduleEvent(s.dt, s, evArrival<<32)
 		return
 	}
 
@@ -256,7 +302,7 @@ func (s *System) arrival(e *sim.Engine, now sim.Time) {
 		if s.otr != nil {
 			s.otr.Emit(obs.Event{T: int64(now), Ev: "drop", SID: uint16(pkt.SID)})
 		}
-		e.Schedule(s.dt, s.arrival)
+		e.ScheduleEvent(s.dt, s, evArrival<<32)
 		return
 	}
 	s.cursor++
@@ -265,36 +311,37 @@ func (s *System) arrival(e *sim.Engine, now sim.Time) {
 	s.haveAttempt = false
 	s.chain.Observe(pkt.SID)
 
-	ctx := &packetCtx{}
+	idx := s.allocPkt()
+	ctx := &s.pkts[idx]
+	ctx.sid, ctx.started = pkt.SID, started
 	var misses [workload.RequestsPerPacket]pipeline.Request
+	nMiss := 0
 	for _, rq := range packetRequests(pkt) {
 		s.requests.Inc()
 		if s.chain.Lookup(e, rq) {
 			continue
 		}
-		misses[ctx.outstanding] = rq
-		ctx.outstanding++
+		misses[nMiss] = rq
+		nMiss++
 	}
 
-	if ctx.outstanding == 0 {
-		e.Schedule(s.cfg.Params.TLBHit, func(_ *sim.Engine, done sim.Time) {
-			s.finishPacket(done)
-			s.recordTenantLatency(pkt.SID, done, done.Sub(started))
-		})
+	if nMiss == 0 {
+		e.ScheduleEvent(s.cfg.Params.TLBHit, s, evHitDone<<32|uint64(idx))
 	} else {
-		ctx.sid, ctx.started = pkt.SID, started
+		ctx.outstanding = nMiss
 		if s.cfg.SerialRequests {
-			ctx.queue = append(ctx.queue, misses[:ctx.outstanding]...)
-			s.startMiss(e, ctx.queue[0], ctx)
-			ctx.queue = ctx.queue[1:]
+			copy(ctx.queue[:], misses[:nMiss])
+			ctx.qlen = uint8(nMiss)
+			ctx.qhead = 1
+			s.startMiss(e, misses[0], idx)
 		} else {
-			for _, rq := range misses[:ctx.outstanding] {
-				s.startMiss(e, rq, ctx)
+			for _, rq := range misses[:nMiss] {
+				s.startMiss(e, rq, idx)
 			}
 		}
 		s.chain.MaybePrefetch(e, pkt.SID)
 	}
-	e.Schedule(s.dt, s.arrival)
+	e.ScheduleEvent(s.dt, s, evArrival<<32)
 }
 
 func (s *System) acceptNative(e *sim.Engine, now sim.Time, pkt workload.Packet) {
@@ -302,10 +349,10 @@ func (s *System) acceptNative(e *sim.Engine, now sim.Time, pkt workload.Packet) 
 	s.unmapApplied = false
 	s.haveAttempt = false
 	s.requests.Add(workload.RequestsPerPacket)
-	e.Schedule(s.cfg.Params.TLBHit, func(_ *sim.Engine, done sim.Time) {
-		s.finishPacket(done)
-		s.recordTenantLatency(pkt.SID, done, done.Sub(now))
-	})
+	idx := s.allocPkt()
+	ctx := &s.pkts[idx]
+	ctx.sid, ctx.started = pkt.SID, now
+	e.ScheduleEvent(s.cfg.Params.TLBHit, s, evHitDone<<32|uint64(idx))
 }
 
 func (s *System) finishPacket(now sim.Time) {
@@ -319,33 +366,62 @@ func (s *System) finishPacket(now sim.Time) {
 
 // packetCtx counts a packet's in-flight translations; the packet (and
 // its admission slot) completes when the counter drains. In serial mode
-// the not-yet-issued translations wait in queue.
+// the not-yet-issued translations wait in queue — a fixed array, since a
+// packet can never queue more than its own request count. issued is when
+// the packet's in-flight resolve left the device (serial mode reissues
+// it per translation; parallel mode shares one issue time).
 type packetCtx struct {
 	outstanding int
-	queue       []pipeline.Request
+	queue       [workload.RequestsPerPacket]pipeline.Request
+	qhead, qlen uint8
 	sid         mem.SID
 	started     sim.Time
+	issued      sim.Time
 }
 
-// startMiss sends one translation down the chain's resolver and folds
-// the completion into the packet's context and the miss-latency cells.
-func (s *System) startMiss(e *sim.Engine, rq pipeline.Request, ctx *packetCtx) {
-	issued := e.Now()
-	s.chain.Resolve(e, rq, func(e *sim.Engine, done sim.Time) {
-		d := done.Sub(issued)
-		s.missLatencySum.Add(uint64(d))
-		s.missCount.Inc()
-		s.missHist.Observe(uint64(d))
-		ctx.outstanding--
-		if len(ctx.queue) > 0 {
-			next := ctx.queue[0]
-			ctx.queue = ctx.queue[1:]
-			s.startMiss(e, next, ctx)
-		} else if ctx.outstanding == 0 {
-			s.finishPacket(done)
-			s.recordTenantLatency(ctx.sid, done, done.Sub(ctx.started))
-		}
-	})
+// allocPkt takes a zeroed packet context from the pool, growing the slab
+// only when every record is in flight.
+func (s *System) allocPkt() uint32 {
+	if n := len(s.freePkts); n > 0 {
+		idx := s.freePkts[n-1]
+		s.freePkts = s.freePkts[:n-1]
+		s.pkts[idx] = packetCtx{}
+		return idx
+	}
+	s.pkts = append(s.pkts, packetCtx{})
+	return uint32(len(s.pkts) - 1)
+}
+
+func (s *System) releasePkt(idx uint32) { s.freePkts = append(s.freePkts, idx) }
+
+// startMiss sends one translation down the chain's resolver; the chain
+// calls s.Complete with the context index at the completion time.
+func (s *System) startMiss(e *sim.Engine, rq pipeline.Request, idx uint32) {
+	s.pkts[idx].issued = e.Now()
+	s.chain.Resolve(e, rq, s, uint64(idx))
+}
+
+// Complete receives one resolved translation (the pipeline.Completer
+// face of System) and folds it into the packet's context and the
+// miss-latency cells.
+func (s *System) Complete(e *sim.Engine, done sim.Time, ctxWord uint64) {
+	idx := uint32(ctxWord)
+	ctx := &s.pkts[idx]
+	d := done.Sub(ctx.issued)
+	s.missLatencySum.Add(uint64(d))
+	s.missCount.Inc()
+	s.missHist.Observe(uint64(d))
+	ctx.outstanding--
+	if ctx.qhead < ctx.qlen {
+		next := ctx.queue[ctx.qhead]
+		ctx.qhead++
+		s.startMiss(e, next, idx)
+	} else if ctx.outstanding == 0 {
+		sid, started := ctx.sid, ctx.started
+		s.releasePkt(idx)
+		s.finishPacket(done)
+		s.recordTenantLatency(sid, done, done.Sub(started))
+	}
 }
 
 // recordTenantLatency folds one packet's service time (completing at
@@ -355,11 +431,7 @@ func (s *System) recordTenantLatency(sid mem.SID, done sim.Time, d sim.Duration)
 	if s.otr != nil {
 		s.otr.Emit(obs.Event{T: int64(done), Ev: "complete", SID: uint16(sid), DurPs: int64(d)})
 	}
-	tl := s.tenantLat[sid]
-	if tl == nil {
-		tl = &tenantLatency{}
-		s.tenantLat[sid] = tl
-	}
+	tl := &s.tenantLat[sid]
 	tl.sum += d
 	tl.count++
 	if d > tl.worst {

@@ -64,6 +64,18 @@ func (h *History) Recent(sid mem.SID, n int) []HistoryEntry {
 	return out
 }
 
+// AppendRecent appends up to n most recently used distinct pages for
+// sid to dst (most recent first) and returns the extended slice. Passing
+// a reused buffer as dst makes steady-state history reads
+// allocation-free.
+func (h *History) AppendRecent(dst []HistoryEntry, sid mem.SID, n int) []HistoryEntry {
+	entries := h.bySID[sid]
+	if n > len(entries) {
+		n = len(entries)
+	}
+	return append(dst, entries[:n]...)
+}
+
 // Drop removes an unmapped page from sid's history so the prefetcher
 // does not chase stale translations.
 func (h *History) Drop(sid mem.SID, iova uint64, pageShift uint8) {

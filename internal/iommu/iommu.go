@@ -55,6 +55,11 @@ type IOMMU struct {
 
 	history *History
 
+	// walkBuf is the reused access scratch for one translation's nested
+	// walk: Translate only needs the access count, so the record slice is
+	// recycled and a warm translation performs no allocation.
+	walkBuf []mem.NestedAccess
+
 	// Counters (observability cells; Stats assembles the snapshot view).
 	translations obs.Counter
 	walks        obs.Counter
@@ -163,17 +168,18 @@ func (u *IOMMU) Translate(sid mem.SID, iova uint64, pageShift uint8, recordHisto
 		if terr != nil {
 			return res, terr
 		}
-		walk, err = nt.WalkFrom(iova, 1, tblHPA)
+		walk, err = nt.WalkFromInto(iova, 1, tblHPA, u.walkBuf[:0])
 	case u.l3pwcHit(sid, iova):
 		res.PWCLevel = 3
 		tblHPA, terr := nt.TableHPA(iova, 2)
 		if terr != nil {
 			return res, terr
 		}
-		walk, err = nt.WalkFrom(iova, 2, tblHPA)
+		walk, err = nt.WalkFromInto(iova, 2, tblHPA, u.walkBuf[:0])
 	default:
-		walk, err = nt.Walk(iova)
+		walk, err = nt.WalkInto(iova, u.walkBuf[:0])
 	}
+	u.walkBuf = walk.Accesses[:0]
 	if err != nil {
 		return res, fmt.Errorf("iommu: walking %#x for SID %d: %w", iova, sid, err)
 	}

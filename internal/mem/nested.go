@@ -55,6 +55,11 @@ type NestedTable struct {
 	// pages and data pages) to its host frame; used to keep the host
 	// table complete and by tests.
 	guestFrames map[Addr]Addr
+
+	// hostBuf is the reused scratch for the host-dimension accesses of a
+	// single walk step, so steady-state walks allocate nothing. Walks are
+	// engine-serial per tenant, so one buffer suffices.
+	hostBuf []Access
 }
 
 // NewNestedTable builds an empty nested translation for one tenant with
@@ -137,9 +142,11 @@ func (nt *NestedTable) MapIOVA(iova uint64, pageShift uint) (gpa, hpa Addr, err 
 }
 
 // hostTranslate runs the host dimension for one guest-physical address and
-// appends its accesses.
+// appends its accesses. It walks through the reused hostBuf scratch, so a
+// warm host walk allocates nothing.
 func (nt *NestedTable) hostTranslate(gpa uint64, guestLevel int, acc *[]NestedAccess) (uint64, error) {
-	res, err := nt.host.Walk(gpa)
+	res, err := nt.host.WalkFromInto(gpa, nt.host.levels, nt.host.root, nt.hostBuf[:0])
+	nt.hostBuf = res.Accesses[:0]
 	for _, a := range res.Accesses {
 		*acc = append(*acc, NestedAccess{HostAddr: a.Addr, Kind: HostForGuest, GuestLevel: guestLevel})
 	}
@@ -154,7 +161,13 @@ func (nt *NestedTable) hostTranslate(gpa uint64, guestLevel int, acc *[]NestedAc
 // address tableHPA. A page-walk-cache hit supplies (startLevel, tableHPA);
 // a full walk uses startLevel = Levels+1 semantics via Walk.
 func (nt *NestedTable) WalkFrom(iova uint64, startLevel int, tableHPA Addr) (NestedResult, error) {
-	var res NestedResult
+	return nt.WalkFromInto(iova, startLevel, tableHPA, nil)
+}
+
+// WalkFromInto is WalkFrom appending the walk's accesses onto acc (a
+// reused scratch buffer on the hot path; nil for the allocating form).
+func (nt *NestedTable) WalkFromInto(iova uint64, startLevel int, tableHPA Addr, acc []NestedAccess) (NestedResult, error) {
+	res := NestedResult{Accesses: acc}
 	curHost := tableHPA
 	for level := startLevel; level >= 1; level-- {
 		entryHost := curHost + Addr(index(iova, level)*8)
@@ -193,15 +206,18 @@ func (nt *NestedTable) WalkFrom(iova uint64, startLevel int, tableHPA Addr) (Nes
 // the guest root's gPA through the host table, then descends guest levels,
 // translating every guest table pointer through the host dimension.
 func (nt *NestedTable) Walk(iova uint64) (NestedResult, error) {
-	var res NestedResult
+	return nt.WalkInto(iova, nil)
+}
+
+// WalkInto is Walk appending the walk's accesses onto acc (a reused
+// scratch buffer on the hot path; nil for the allocating form).
+func (nt *NestedTable) WalkInto(iova uint64, acc []NestedAccess) (NestedResult, error) {
+	res := NestedResult{Accesses: acc}
 	rootHost, err := nt.hostTranslate(uint64(nt.guest.Root()), nt.guest.levels, &res.Accesses)
 	if err != nil {
 		return res, err
 	}
-	sub, err := nt.WalkFrom(iova, nt.guest.levels, Addr(rootHost))
-	res.Accesses = append(res.Accesses, sub.Accesses...)
-	res.HPA, res.GPA, res.PageShift = sub.HPA, sub.GPA, sub.PageShift
-	return res, err
+	return nt.WalkFromInto(iova, nt.guest.levels, Addr(rootHost), res.Accesses)
 }
 
 // TableHPA returns the host-physical address of the guest table page that
@@ -212,7 +228,8 @@ func (nt *NestedTable) TableHPA(iova uint64, level int) (Addr, error) {
 	// Silent walk: replay the descent without recording accesses.
 	curGPA := uint64(nt.guest.Root())
 	for l := nt.guest.levels; l > level; l-- {
-		hostRes, err := nt.host.Walk(curGPA)
+		hostRes, err := nt.host.WalkFromInto(curGPA, nt.host.levels, nt.host.root, nt.hostBuf[:0])
+		nt.hostBuf = hostRes.Accesses[:0]
 		if err != nil {
 			return 0, err
 		}
@@ -231,7 +248,8 @@ func (nt *NestedTable) TableHPA(iova uint64, level int) (Addr, error) {
 		}
 		curGPA = e & pteAddrMask
 	}
-	hostRes, err := nt.host.Walk(curGPA)
+	hostRes, err := nt.host.WalkFromInto(curGPA, nt.host.levels, nt.host.root, nt.hostBuf[:0])
+	nt.hostBuf = hostRes.Accesses[:0]
 	if err != nil {
 		return 0, err
 	}

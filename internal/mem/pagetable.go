@@ -128,7 +128,15 @@ func (e *NotMappedError) Error() string {
 // and startTable allow resuming a partial walk (page-walk-cache hit);
 // pass Levels and Root for a full walk.
 func (pt *PageTable) WalkFrom(va uint64, startLevel int, startTable Addr) (WalkResult, error) {
-	var res WalkResult
+	return pt.WalkFromInto(va, startLevel, startTable, nil)
+}
+
+// WalkFromInto is WalkFrom appending the walk's accesses onto acc, which
+// callers on the hot path pass as a reused scratch buffer (acc[:0]) so a
+// warm walk performs no allocation. The returned result's Accesses is
+// the extended slice; with a nil acc it behaves exactly like WalkFrom.
+func (pt *PageTable) WalkFromInto(va uint64, startLevel int, startTable Addr, acc []Access) (WalkResult, error) {
+	res := WalkResult{Accesses: acc}
 	cur := startTable
 	for level := startLevel; level >= 1; level-- {
 		entryAddr := cur + Addr(index(va, level)*8)

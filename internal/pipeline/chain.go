@@ -79,10 +79,11 @@ func (c *Chain) Lookup(e *sim.Engine, rq Request) bool {
 	return false
 }
 
-// Resolve sends a demand miss down to the resolver stage; done fires at
-// the completion time, after the device-side stages were refilled.
-func (c *Chain) Resolve(e *sim.Engine, rq Request, done func(*sim.Engine, sim.Time)) {
-	c.resolver.Resolve(e, rq, done)
+// Resolve sends a demand miss down to the resolver stage; done.Complete
+// fires at the completion time (with the caller's ctx word), after the
+// device-side stages were refilled.
+func (c *Chain) Resolve(e *sim.Engine, rq Request, done Completer, ctx uint64) {
+	c.resolver.Resolve(e, rq, done, ctx)
 }
 
 // MaybePrefetch gives the issuing stage a chance to start a prefetch
@@ -207,6 +208,6 @@ func (noopIssuer) Issue(*sim.Engine, mem.SID)        {}
 // rejects such specs, so reaching it is a bug.
 type panicResolver struct{ noopIssuer }
 
-func (panicResolver) Resolve(*sim.Engine, Request, func(*sim.Engine, sim.Time)) {
+func (panicResolver) Resolve(*sim.Engine, Request, Completer, uint64) {
 	panic("pipeline: chain has no resolver stage")
 }

@@ -79,13 +79,22 @@ type Admitter interface {
 	Release()
 }
 
+// Completer receives resolved demand misses. It is the closure-free
+// completion callback: the caller implements Complete once, passes
+// itself to Resolve with an opaque context word (typically an index
+// into its own pooled per-packet records), and gets both back at the
+// completion time. Resolvers thread ctx through untouched.
+type Completer interface {
+	Complete(e *sim.Engine, at sim.Time, ctx uint64)
+}
+
 // Resolver is the terminal stage: it resolves a demand miss
 // asynchronously (PCIe to the chipset, the nested walk, PCIe back),
-// refills the device-side probe stages, and calls done at the
-// completion time.
+// refills the device-side probe stages, and calls done.Complete at the
+// completion time with the caller's ctx word.
 type Resolver interface {
 	Stage
-	Resolve(e *sim.Engine, rq Request, done func(*sim.Engine, sim.Time))
+	Resolve(e *sim.Engine, rq Request, done Completer, ctx uint64)
 }
 
 // Issuer is the prefetch-issuing stage: Observe feeds it the accepted

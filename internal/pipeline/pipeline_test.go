@@ -42,20 +42,32 @@ func prefetchSpec() StageSpec {
 	return StageSpec{Kind: "prefetch-buffer", Prefetch: device.DefaultPrefetchConfig()}
 }
 
+// countingTask records every RunWalk payload, standing in for a stage.
+type countingTask struct{ payloads []uint64 }
+
+func (c *countingTask) RunWalk(_ *sim.Engine, payload uint64) {
+	c.payloads = append(c.payloads, payload)
+}
+
 func TestWalkerPoolBoundsConcurrency(t *testing.T) {
 	e := sim.NewEngine()
 	p := NewWalkerPool(2)
-	var ran int
-	task := func(*sim.Engine) { ran++ }
-	p.Acquire(e, task)
-	p.Acquire(e, task)
-	p.Acquire(e, task) // queues: both walkers busy
-	if ran != 2 || p.Busy() != 2 || p.Queued() != 1 {
-		t.Fatalf("ran=%d busy=%d queued=%d, want 2/2/1", ran, p.Busy(), p.Queued())
+	task := &countingTask{}
+	p.Acquire(e, task, 0)
+	p.Acquire(e, task, 1)
+	p.Acquire(e, task, 2) // queues: both walkers busy
+	if len(task.payloads) != 2 || p.Busy() != 2 || p.Queued() != 1 {
+		t.Fatalf("ran=%d busy=%d queued=%d, want 2/2/1", len(task.payloads), p.Busy(), p.Queued())
 	}
 	p.Release(e) // hands the walker straight to the queued task
-	if ran != 3 || p.Busy() != 2 || p.Queued() != 0 {
-		t.Fatalf("after release: ran=%d busy=%d queued=%d, want 3/2/0", ran, p.Busy(), p.Queued())
+	if len(task.payloads) != 3 || p.Busy() != 2 || p.Queued() != 0 {
+		t.Fatalf("after release: ran=%d busy=%d queued=%d, want 3/2/0", len(task.payloads), p.Busy(), p.Queued())
+	}
+	want := []uint64{0, 1, 2}
+	for i, got := range task.payloads {
+		if got != want[i] {
+			t.Fatalf("payloads ran out of order: got %v, want %v", task.payloads, want)
+		}
 	}
 	p.Release(e)
 	p.Release(e)
@@ -67,12 +79,43 @@ func TestWalkerPoolBoundsConcurrency(t *testing.T) {
 func TestWalkerPoolUnlimited(t *testing.T) {
 	e := sim.NewEngine()
 	p := NewWalkerPool(0)
-	var ran int
+	task := &countingTask{}
 	for i := 0; i < 10; i++ {
-		p.Acquire(e, func(*sim.Engine) { ran++ })
+		p.Acquire(e, task, uint64(i))
 	}
-	if ran != 10 || p.Queued() != 0 {
-		t.Fatalf("unlimited pool queued work: ran=%d queued=%d", ran, p.Queued())
+	if len(task.payloads) != 10 || p.Queued() != 0 {
+		t.Fatalf("unlimited pool queued work: ran=%d queued=%d", len(task.payloads), p.Queued())
+	}
+}
+
+func TestWalkerPoolQueueReusesBacking(t *testing.T) {
+	e := sim.NewEngine()
+	p := NewWalkerPool(1)
+	task := &countingTask{}
+	p.Acquire(e, task, 0)
+	// Warm the queue's backing array, then drain it.
+	for i := 1; i <= 4; i++ {
+		p.Acquire(e, task, uint64(i))
+	}
+	for i := 0; i < 4; i++ {
+		p.Release(e)
+	}
+	p.Release(e)
+	if p.Busy() != 0 || p.Queued() != 0 {
+		t.Fatalf("pool not drained: busy=%d queued=%d", p.Busy(), p.Queued())
+	}
+	// Steady-state queue churn within the warmed capacity must not
+	// allocate.
+	allocs := testing.AllocsPerRun(100, func() {
+		p.Acquire(e, task, 1)
+		p.Acquire(e, task, 2)
+		p.Acquire(e, task, 3)
+		p.Release(e)
+		p.Release(e)
+		p.Release(e)
+	})
+	if allocs != 0 {
+		t.Fatalf("walker queue churn allocated %v per run, want 0", allocs)
 	}
 }
 

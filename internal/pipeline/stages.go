@@ -111,6 +111,11 @@ func (st *PrefetchBufferStage) Describe() string {
 // optional IOTLB, page-walk caches, nested walk), charges the memory
 // latency, refills the device-side probe stages and completes back over
 // PCIe.
+//
+// The whole resolve path is closure-free: each in-flight miss lives in
+// a pooled chipsetWalk record, and the stage schedules typed events
+// against itself with the record's index (plus an event-kind tag) in
+// the payload word. Steady-state resolution allocates nothing.
 type ChipsetStage struct {
 	mmu     *iommu.IOMMU
 	pool    *WalkerPool
@@ -118,6 +123,41 @@ type ChipsetStage struct {
 	tracer  *obs.Tracer
 	fills   []Stage // device-side stages refilled by demand completions
 	walkers int     // configured cap (0 = unlimited), for Describe
+
+	walks []chipsetWalk // pooled in-flight miss records
+	free  []uint32
+}
+
+// chipsetWalk is one in-flight demand miss at the chipset.
+type chipsetWalk struct {
+	rq      Request
+	done    Completer
+	ctx     uint64 // the caller's context word, threaded through
+	walk    sim.Duration
+	hpaBase uint64
+}
+
+// Event kinds for the chipset's typed events, stored in payload bits
+// 32+; the low 32 bits carry the chipsetWalk index.
+const (
+	ckArrive   uint64 = iota // PCIe trip done: claim a walker
+	ckWalkEnd                // memory accesses done: release the walker
+	ckComplete               // return PCIe trip done: refill and complete
+)
+
+func (st *ChipsetStage) alloc() uint32 {
+	if n := len(st.free); n > 0 {
+		idx := st.free[n-1]
+		st.free = st.free[:n-1]
+		return idx
+	}
+	st.walks = append(st.walks, chipsetWalk{})
+	return uint32(len(st.walks) - 1)
+}
+
+func (st *ChipsetStage) release(idx uint32) {
+	st.walks[idx] = chipsetWalk{} // drop the Completer reference
+	st.free = append(st.free, idx)
 }
 
 func (st *ChipsetStage) Name() string         { return "iommu" }
@@ -133,38 +173,57 @@ func (st *ChipsetStage) Register(r *obs.Registry, p string) { st.mmu.Register(r,
 // IOMMU exposes the chipset model for stats and the history reader.
 func (st *ChipsetStage) IOMMU() *iommu.IOMMU { return st.mmu }
 
-func (st *ChipsetStage) Resolve(e *sim.Engine, rq Request, done func(*sim.Engine, sim.Time)) {
-	lat := st.lat
-	e.Schedule(lat.TLBHit+lat.PCIeOneWay, func(e *sim.Engine, _ sim.Time) {
-		st.pool.Acquire(e, func(e *sim.Engine) {
-			res, err := st.mmu.Translate(rq.SID, rq.IOVA, rq.Shift, true)
-			if err != nil {
-				panic(fmt.Sprintf("pipeline: translate SID %d iova %#x: %v", rq.SID, rq.IOVA, err))
-			}
-			walk := sim.Duration(res.MemAccesses) * lat.DRAMLatency
-			if res.IOTLBHit {
-				walk += lat.TLBHit
-			}
-			if st.tracer != nil {
-				st.tracer.Emit(obs.Event{T: int64(e.Now()), Ev: "walk_start",
-					SID: uint16(rq.SID), IOVA: obs.Hex(rq.IOVA), Shift: rq.Shift, N: res.MemAccesses})
-			}
-			e.Schedule(walk, func(e *sim.Engine, wnow sim.Time) {
-				if st.tracer != nil {
-					st.tracer.Emit(obs.Event{T: int64(wnow), Ev: "walk_end",
-						SID: uint16(rq.SID), IOVA: obs.Hex(rq.IOVA), DurPs: int64(walk)})
-				}
-				st.pool.Release(e)
-			})
-			e.Schedule(walk+lat.PCIeOneWay, func(e *sim.Engine, doneAt sim.Time) {
-				base := res.HPA &^ (uint64(1)<<rq.Shift - 1)
-				for _, f := range st.fills {
-					f.Fill(rq, base)
-				}
-				done(e, doneAt)
-			})
-		})
-	})
+func (st *ChipsetStage) Resolve(e *sim.Engine, rq Request, done Completer, ctx uint64) {
+	idx := st.alloc()
+	w := &st.walks[idx]
+	w.rq, w.done, w.ctx = rq, done, ctx
+	e.ScheduleEvent(st.lat.TLBHit+st.lat.PCIeOneWay, st, ckArrive<<32|uint64(idx))
+}
+
+// HandleEvent dispatches the stage's typed events by kind tag.
+func (st *ChipsetStage) HandleEvent(e *sim.Engine, now sim.Time, payload uint64) {
+	idx := uint32(payload)
+	switch payload >> 32 {
+	case ckArrive:
+		st.pool.Acquire(e, st, uint64(idx))
+	case ckWalkEnd:
+		w := &st.walks[idx]
+		if st.tracer != nil {
+			st.tracer.Emit(obs.Event{T: int64(now), Ev: "walk_end",
+				SID: uint16(w.rq.SID), IOVA: obs.Hex(w.rq.IOVA), DurPs: int64(w.walk)})
+		}
+		st.pool.Release(e)
+	case ckComplete:
+		w := &st.walks[idx]
+		for _, f := range st.fills {
+			f.Fill(w.rq, w.hpaBase)
+		}
+		done, ctx := w.done, w.ctx
+		st.release(idx)
+		done.Complete(e, now, ctx)
+	}
+}
+
+// RunWalk runs the translation once the pool grants a walker.
+func (st *ChipsetStage) RunWalk(e *sim.Engine, payload uint64) {
+	idx := uint32(payload)
+	w := &st.walks[idx]
+	res, err := st.mmu.Translate(w.rq.SID, w.rq.IOVA, w.rq.Shift, true)
+	if err != nil {
+		panic(fmt.Sprintf("pipeline: translate SID %d iova %#x: %v", w.rq.SID, w.rq.IOVA, err))
+	}
+	walk := sim.Duration(res.MemAccesses) * st.lat.DRAMLatency
+	if res.IOTLBHit {
+		walk += st.lat.TLBHit
+	}
+	w.walk = walk
+	w.hpaBase = res.HPA &^ (uint64(1)<<w.rq.Shift - 1)
+	if st.tracer != nil {
+		st.tracer.Emit(obs.Event{T: int64(e.Now()), Ev: "walk_start",
+			SID: uint16(w.rq.SID), IOVA: obs.Hex(w.rq.IOVA), Shift: w.rq.Shift, N: res.MemAccesses})
+	}
+	e.ScheduleEvent(walk, st, ckWalkEnd<<32|uint64(idx))
+	e.ScheduleEvent(walk+st.lat.PCIeOneWay, st, ckComplete<<32|uint64(idx))
 }
 
 func (st *ChipsetStage) Describe() string {
@@ -187,12 +246,53 @@ func (st *ChipsetStage) Describe() string {
 // device's SID-predictor: after a demand miss it may claim a walker,
 // read the predicted tenant's per-DID history from memory, translate the
 // fetched gIOVAs back to back and install them into the Prefetch Buffer.
+//
+// Like the chipset stage, prefetches are closure-free: each in-flight
+// prefetch is a pooled historyPrefetch record whose entry and history
+// buffers are reused across prefetches, addressed by index through the
+// typed-event payload.
 type HistoryReaderStage struct {
 	pu     *device.PrefetchUnit
 	mmu    *iommu.IOMMU
 	pool   *WalkerPool
 	lat    Latencies
 	tracer *obs.Tracer
+
+	prefs []historyPrefetch // pooled in-flight prefetch records
+	free  []uint32
+}
+
+// historyPrefetch is one in-flight prefetch of a predicted tenant.
+type historyPrefetch struct {
+	target    mem.SID
+	triggered sim.Time
+	recent    []iommu.HistoryEntry // reused scratch: fetched history
+	entries   []tlb.Entry          // reused scratch: translated fills
+}
+
+// Event kinds for the history reader's typed events (payload bits 32+;
+// low 32 bits are the historyPrefetch index).
+const (
+	hkArrive  uint64 = iota // PCIe trip done: claim a walker
+	hkWalkEnd               // history read + walks done: release walker
+	hkFill                  // return PCIe trip done: install the fills
+)
+
+func (st *HistoryReaderStage) alloc() uint32 {
+	if n := len(st.free); n > 0 {
+		idx := st.free[n-1]
+		st.free = st.free[:n-1]
+		return idx
+	}
+	st.prefs = append(st.prefs, historyPrefetch{})
+	return uint32(len(st.prefs) - 1)
+}
+
+func (st *HistoryReaderStage) release(idx uint32) {
+	p := &st.prefs[idx]
+	p.target, p.triggered = 0, 0
+	p.recent, p.entries = p.recent[:0], p.entries[:0] // keep the backing arrays
+	st.free = append(st.free, idx)
 }
 
 func (st *HistoryReaderStage) Name() string                      { return "history-reader" }
@@ -216,51 +316,71 @@ func (st *HistoryReaderStage) Issue(e *sim.Engine, current mem.SID) {
 	if st.tracer != nil {
 		st.tracer.Emit(obs.Event{T: int64(triggered), Ev: "prefetch_issue", SID: uint16(target)})
 	}
-	lat := st.lat
-	e.Schedule(lat.PCIeOneWay, func(e *sim.Engine, _ sim.Time) {
+	idx := st.alloc()
+	p := &st.prefs[idx]
+	p.target, p.triggered = target, triggered
+	e.ScheduleEvent(st.lat.PCIeOneWay, st, hkArrive<<32|uint64(idx))
+}
+
+// HandleEvent dispatches the stage's typed events by kind tag.
+func (st *HistoryReaderStage) HandleEvent(e *sim.Engine, now sim.Time, payload uint64) {
+	idx := uint32(payload)
+	switch payload >> 32 {
+	case hkArrive:
 		// The history reader claims one walker: it reads the per-DID
 		// history from memory, then walks the fetched gIOVAs back to back.
-		st.pool.Acquire(e, func(e *sim.Engine) {
-			recent := st.mmu.History().Recent(target, st.pu.Config().Degree)
-			if len(recent) == 0 {
-				if st.tracer != nil {
-					st.tracer.Emit(obs.Event{T: int64(e.Now()), Ev: "prefetch_abort", SID: uint16(target)})
-				}
-				st.pu.Abort(target)
-				st.pool.Release(e)
-				return
-			}
-			total := lat.DRAMLatency // history read
-			entries := make([]tlb.Entry, 0, len(recent))
-			for _, h := range recent {
-				res, err := st.mmu.Translate(target, h.IOVA, h.PageShift, false)
-				if err != nil {
-					continue // page was unmapped while the prefetch was in flight
-				}
-				total += sim.Duration(res.MemAccesses) * lat.DRAMLatency
-				if res.IOTLBHit {
-					total += lat.TLBHit
-				}
-				pageMask := uint64(1)<<h.PageShift - 1
-				entries = append(entries, tlb.Entry{
-					Key:       iommu.PageKey(target, h.IOVA, h.PageShift),
-					Value:     res.HPA &^ pageMask,
-					PageShift: h.PageShift,
-				})
-			}
-			e.Schedule(total, func(e *sim.Engine, _ sim.Time) { st.pool.Release(e) })
-			e.Schedule(total+lat.PCIeOneWay, func(_ *sim.Engine, done sim.Time) {
-				if st.tracer != nil {
-					st.tracer.Emit(obs.Event{T: int64(done), Ev: "prefetch_fill",
-						SID: uint16(target), N: len(entries), DurPs: int64(done.Sub(triggered))})
-				}
-				// Report the observed trigger-to-fill latency in requests
-				// so the host can retune the history-length register.
-				latencyRequests := int(float64(done.Sub(triggered)) / float64(lat.Interarrival) * workload.RequestsPerPacket)
-				st.pu.Complete(target, entries, latencyRequests)
-			})
+		st.pool.Acquire(e, st, uint64(idx))
+	case hkWalkEnd:
+		st.pool.Release(e)
+	case hkFill:
+		p := &st.prefs[idx]
+		if st.tracer != nil {
+			st.tracer.Emit(obs.Event{T: int64(now), Ev: "prefetch_fill",
+				SID: uint16(p.target), N: len(p.entries), DurPs: int64(now.Sub(p.triggered))})
+		}
+		// Report the observed trigger-to-fill latency in requests
+		// so the host can retune the history-length register.
+		latencyRequests := int(float64(now.Sub(p.triggered)) / float64(st.lat.Interarrival) * workload.RequestsPerPacket)
+		st.pu.Complete(p.target, p.entries, latencyRequests)
+		st.release(idx)
+	}
+}
+
+// RunWalk reads the target's history and walks its pages once the pool
+// grants a walker.
+func (st *HistoryReaderStage) RunWalk(e *sim.Engine, payload uint64) {
+	idx := uint32(payload)
+	p := &st.prefs[idx]
+	p.recent = st.mmu.History().AppendRecent(p.recent[:0], p.target, st.pu.Config().Degree)
+	if len(p.recent) == 0 {
+		if st.tracer != nil {
+			st.tracer.Emit(obs.Event{T: int64(e.Now()), Ev: "prefetch_abort", SID: uint16(p.target)})
+		}
+		st.pu.Abort(p.target)
+		st.pool.Release(e)
+		st.release(idx)
+		return
+	}
+	total := st.lat.DRAMLatency // history read
+	p.entries = p.entries[:0]
+	for _, h := range p.recent {
+		res, err := st.mmu.Translate(p.target, h.IOVA, h.PageShift, false)
+		if err != nil {
+			continue // page was unmapped while the prefetch was in flight
+		}
+		total += sim.Duration(res.MemAccesses) * st.lat.DRAMLatency
+		if res.IOTLBHit {
+			total += st.lat.TLBHit
+		}
+		pageMask := uint64(1)<<h.PageShift - 1
+		p.entries = append(p.entries, tlb.Entry{
+			Key:       iommu.PageKey(p.target, h.IOVA, h.PageShift),
+			Value:     res.HPA &^ pageMask,
+			PageShift: h.PageShift,
 		})
-	})
+	}
+	e.ScheduleEvent(total, st, hkWalkEnd<<32|uint64(idx))
+	e.ScheduleEvent(total+st.lat.PCIeOneWay, st, hkFill<<32|uint64(idx))
 }
 
 func (st *HistoryReaderStage) Describe() string {

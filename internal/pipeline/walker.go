@@ -2,6 +2,21 @@ package pipeline
 
 import "hypertrio/internal/sim"
 
+// WalkerTask is work that runs when the pool grants a walker. Like the
+// engine's EventSink, it is the closure-free shape of a callback: the
+// requesting stage implements RunWalk once and threads per-request
+// state through the payload word (typically an index into its own
+// pooled context records), so queueing for a walker allocates nothing.
+type WalkerTask interface {
+	RunWalk(e *sim.Engine, payload uint64)
+}
+
+// walkerReq is one queued acquisition.
+type walkerReq struct {
+	task    WalkerTask
+	payload uint64
+}
+
 // WalkerPool models the chipset's bounded page-table-walker concurrency:
 // a translation that reaches the chipset must hold a walker for the
 // duration of its memory accesses; excess work queues FIFO. A capacity
@@ -9,7 +24,11 @@ import "hypertrio/internal/sim"
 type WalkerPool struct {
 	capacity int
 	busy     int
-	queue    []func(*sim.Engine)
+	// FIFO queue as a head-indexed slice: Release pops from head, the
+	// backing array is reset (not reallocated) when the queue drains, so
+	// steady-state queueing is allocation-free.
+	queue []walkerReq
+	head  int
 }
 
 // NewWalkerPool builds a pool with the given capacity (0 = unlimited).
@@ -17,25 +36,30 @@ func NewWalkerPool(capacity int) *WalkerPool {
 	return &WalkerPool{capacity: capacity}
 }
 
-// Acquire runs task now if a walker is free (or the pool is unlimited),
-// otherwise queues it. The task must call Release when its memory
-// accesses finish.
-func (p *WalkerPool) Acquire(e *sim.Engine, task func(*sim.Engine)) {
+// Acquire runs task.RunWalk(e, payload) now if a walker is free (or the
+// pool is unlimited), otherwise queues it. The task must call Release
+// when its memory accesses finish.
+func (p *WalkerPool) Acquire(e *sim.Engine, task WalkerTask, payload uint64) {
 	if p.capacity > 0 && p.busy >= p.capacity {
-		p.queue = append(p.queue, task)
+		p.queue = append(p.queue, walkerReq{task: task, payload: payload})
 		return
 	}
 	p.busy++
-	task(e)
+	task.RunWalk(e, payload)
 }
 
 // Release frees a walker, immediately handing it to the next queued
 // translation if any.
 func (p *WalkerPool) Release(e *sim.Engine) {
-	if len(p.queue) > 0 {
-		next := p.queue[0]
-		p.queue = p.queue[1:]
-		next(e)
+	if p.head < len(p.queue) {
+		req := p.queue[p.head]
+		p.queue[p.head] = walkerReq{} // release the task reference
+		p.head++
+		if p.head == len(p.queue) {
+			p.queue = p.queue[:0]
+			p.head = 0
+		}
+		req.task.RunWalk(e, req.payload)
 		return
 	}
 	p.busy--
@@ -45,7 +69,7 @@ func (p *WalkerPool) Release(e *sim.Engine) {
 func (p *WalkerPool) Busy() int { return p.busy }
 
 // Queued returns the number of translations waiting for a walker.
-func (p *WalkerPool) Queued() int { return len(p.queue) }
+func (p *WalkerPool) Queued() int { return len(p.queue) - p.head }
 
 // Capacity returns the pool size (0 = unlimited).
 func (p *WalkerPool) Capacity() int { return p.capacity }

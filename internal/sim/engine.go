@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 )
@@ -10,18 +9,51 @@ import (
 // engine so it can schedule follow-up events, and the firing time.
 type Handler func(e *Engine, now Time)
 
-// event is one pending callback in the queue.
-type event struct {
-	at     Time
-	seq    uint64 // schedule order, breaks timestamp ties deterministically
-	fn     Handler
-	index  int // heap index, -1 once popped or cancelled
-	cancel bool
-	label  string
+// EventSink is the typed, closure-free scheduling path: a model
+// component implements HandleEvent once and schedules events against
+// itself with ScheduleEvent, threading per-event state through the
+// payload word instead of capturing it in a closure. Components that
+// need more than 64 bits of state keep it in a pooled record and pass
+// the record's index (see internal/core and internal/pipeline).
+//
+// Typed and closure events share one queue, one sequence numbering and
+// one firing order; which path scheduled an event is invisible to
+// determinism, probes and traces.
+type EventSink interface {
+	HandleEvent(e *Engine, now Time, payload uint64)
 }
 
-// EventID identifies a scheduled event so it can be cancelled.
-type EventID struct{ ev *event }
+// recState tracks an event record's lifecycle through the slab.
+const (
+	recFree uint8 = iota // on the free list
+	recQueued
+	recCancelled // still in the heap, skipped and recycled at pop
+)
+
+// eventRec is one event's slab record. Records are recycled through a
+// free list, so steady-state scheduling allocates nothing; gen
+// distinguishes incarnations of the same slot so a stale EventID from a
+// previous occupant can never touch the current one.
+type eventRec struct {
+	at      Time
+	seq     uint64 // schedule order, breaks timestamp ties deterministically
+	fn      Handler
+	sink    EventSink
+	payload uint64
+	label   string
+	gen     uint32
+	state   uint8
+}
+
+// EventID identifies a scheduled event so it can be cancelled. The zero
+// EventID is invalid and never cancels anything. IDs are
+// generation-checked: after the event fires or is cancelled its slab
+// slot may be recycled, and the stale ID keeps returning false from
+// Cancel instead of touching the slot's next occupant.
+type EventID struct {
+	slot uint32 // slab index + 1; 0 marks the zero (invalid) EventID
+	gen  uint32
+}
 
 // Probe observes the engine's lifecycle: every event entering the
 // queue, firing, or being cancelled, with its timestamp, deterministic
@@ -35,47 +67,23 @@ type Probe interface {
 	OnCancel(at Time, seq uint64, label string)
 }
 
-// eventQueue is a min-heap ordered by (time, seq).
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-
-func (q *eventQueue) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*q)
-	*q = append(*q, ev)
-}
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*q = old[:n-1]
-	return ev
-}
-
 // Engine is a deterministic discrete-event simulator. Events scheduled
 // for the same timestamp fire in scheduling order. Engine is not safe for
 // concurrent use; the whole model is single-threaded by design, which is
 // also what makes runs reproducible.
+//
+// Internally the queue is a 4-ary min-heap of slab indices ordered by
+// (time, seq): the slab keeps every record in one flat allocation and
+// the free list recycles slots, so Schedule/Step allocate nothing in
+// steady state (pinned by TestScheduleStepZeroAllocs). Cancellation is
+// lazy — a cancelled record stays in the heap, is skipped at pop, and
+// its slot is recycled then.
 type Engine struct {
 	now     Time
-	queue   eventQueue
+	slab    []eventRec
+	heap    []uint32 // slab indices ordered by (at, seq)
+	free    []uint32 // recycled slab indices
+	live    int      // queued, not-cancelled events
 	nextSeq uint64
 	fired   uint64
 	stopped bool
@@ -93,8 +101,10 @@ func (e *Engine) Now() Time { return e.now }
 // Fired reports how many events have executed so far.
 func (e *Engine) Fired() uint64 { return e.fired }
 
-// Pending reports how many events are currently scheduled.
-func (e *Engine) Pending() int { return len(e.queue) }
+// Pending reports how many events are currently scheduled (cancelled
+// events leave this count immediately, even though their heap slots are
+// recycled lazily).
+func (e *Engine) Pending() int { return e.live }
 
 // Stopped reports whether the last Run/RunUntil/RunLimit call ended
 // because Stop was called (rather than by draining the queue or hitting
@@ -116,7 +126,7 @@ func (e *Engine) Schedule(delay Duration, fn Handler) EventID {
 	if delay < 0 {
 		panic(fmt.Sprintf("sim: negative delay %d ps", int64(delay)))
 	}
-	return e.scheduleAt(e.now.Add(delay), fn, "")
+	return e.scheduleAt(e.now.Add(delay), fn, nil, 0, "")
 }
 
 // ScheduleAt queues fn to run at the absolute time at.
@@ -124,7 +134,7 @@ func (e *Engine) ScheduleAt(at Time, fn Handler) (EventID, error) {
 	if at < e.now {
 		return EventID{}, fmt.Errorf("%w: at=%v now=%v", ErrPastEvent, at, e.now)
 	}
-	return e.scheduleAt(at, fn, ""), nil
+	return e.scheduleAt(at, fn, nil, 0, ""), nil
 }
 
 // ScheduleLabeled is Schedule with a debug label attached to the event.
@@ -132,33 +142,85 @@ func (e *Engine) ScheduleLabeled(delay Duration, label string, fn Handler) Event
 	if delay < 0 {
 		panic(fmt.Sprintf("sim: negative delay %d ps", int64(delay)))
 	}
-	return e.scheduleAt(e.now.Add(delay), fn, label)
+	return e.scheduleAt(e.now.Add(delay), fn, nil, 0, label)
 }
 
-func (e *Engine) scheduleAt(at Time, fn Handler, label string) EventID {
-	ev := &event{at: at, seq: e.nextSeq, fn: fn, label: label}
-	e.nextSeq++
-	heap.Push(&e.queue, ev)
-	if e.probe != nil {
-		e.probe.OnSchedule(at, ev.seq, label)
+// ScheduleEvent queues a typed event: after delay, sink.HandleEvent
+// fires with the payload word. Unlike Schedule with a capturing
+// closure, this path allocates nothing — the hot-path alternative for
+// model components that schedule per packet or per translation.
+func (e *Engine) ScheduleEvent(delay Duration, sink EventSink, payload uint64) EventID {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d ps", int64(delay)))
 	}
-	return EventID{ev: ev}
+	return e.scheduleAt(e.now.Add(delay), nil, sink, payload, "")
 }
 
-// Cancel removes a scheduled event. Cancelling an already-fired or
-// already-cancelled event is a no-op and returns false; in particular,
-// an event popped for execution during same-timestamp firing (including
-// a handler cancelling itself) has already left the queue and cannot be
-// cancelled.
+// ScheduleEventLabeled is ScheduleEvent with a debug label attached.
+func (e *Engine) ScheduleEventLabeled(delay Duration, label string, sink EventSink, payload uint64) EventID {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d ps", int64(delay)))
+	}
+	return e.scheduleAt(e.now.Add(delay), nil, sink, payload, label)
+}
+
+func (e *Engine) scheduleAt(at Time, fn Handler, sink EventSink, payload uint64, label string) EventID {
+	var idx uint32
+	if n := len(e.free); n > 0 {
+		idx = e.free[n-1]
+		e.free = e.free[:n-1]
+	} else {
+		e.slab = append(e.slab, eventRec{})
+		idx = uint32(len(e.slab) - 1)
+	}
+	rec := &e.slab[idx]
+	rec.at = at
+	rec.seq = e.nextSeq
+	rec.fn = fn
+	rec.sink = sink
+	rec.payload = payload
+	rec.label = label
+	rec.state = recQueued
+	e.nextSeq++
+	e.live++
+	e.heapPush(idx)
+	if e.probe != nil {
+		e.probe.OnSchedule(at, rec.seq, label)
+	}
+	return EventID{slot: idx + 1, gen: rec.gen}
+}
+
+// freeRec retires a slab slot: the generation bump invalidates any
+// outstanding EventID, and clearing the references releases the
+// handler/sink for GC.
+func (e *Engine) freeRec(idx uint32) {
+	rec := &e.slab[idx]
+	rec.gen++
+	rec.state = recFree
+	rec.fn = nil
+	rec.sink = nil
+	rec.label = ""
+	e.free = append(e.free, idx)
+}
+
+// Cancel removes a scheduled event. Cancelling an already-fired,
+// already-cancelled, or recycled event is a no-op and returns false; in
+// particular, an event popped for execution during same-timestamp firing
+// (including a handler cancelling itself) has already left the queue and
+// cannot be cancelled, and a stale EventID whose slab slot was recycled
+// fails the generation check rather than cancelling the new occupant.
 func (e *Engine) Cancel(id EventID) bool {
-	ev := id.ev
-	if ev == nil || ev.cancel || ev.index < 0 {
+	if id.slot == 0 || int(id.slot) > len(e.slab) {
 		return false
 	}
-	ev.cancel = true
-	heap.Remove(&e.queue, ev.index)
+	rec := &e.slab[id.slot-1]
+	if rec.gen != id.gen || rec.state != recQueued {
+		return false
+	}
+	rec.state = recCancelled
+	e.live--
 	if e.probe != nil {
-		e.probe.OnCancel(ev.at, ev.seq, ev.label)
+		e.probe.OnCancel(rec.at, rec.seq, rec.label)
 	}
 	return true
 }
@@ -169,20 +231,32 @@ func (e *Engine) Stop() { e.stopped = true }
 // Step fires the single earliest pending event. It returns false when the
 // queue is empty.
 func (e *Engine) Step() bool {
-	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(*event)
-		if ev.cancel {
+	for len(e.heap) > 0 {
+		idx := e.heapPop()
+		rec := &e.slab[idx]
+		if rec.state == recCancelled {
+			e.freeRec(idx)
 			continue
 		}
-		if ev.at < e.now {
-			panic(fmt.Sprintf("sim: time went backwards: %v -> %v (%s)", e.now, ev.at, ev.label))
+		at, seq := rec.at, rec.seq
+		fn, sink, payload, label := rec.fn, rec.sink, rec.payload, rec.label
+		// Recycle before firing: the handler may schedule into this very
+		// slot, which is exactly why EventIDs are generation-checked.
+		e.freeRec(idx)
+		if at < e.now {
+			panic(fmt.Sprintf("sim: time went backwards: %v -> %v (%s)", e.now, at, label))
 		}
-		e.now = ev.at
+		e.now = at
 		e.fired++
+		e.live--
 		if e.probe != nil {
-			e.probe.OnFire(ev.at, ev.seq, ev.label)
+			e.probe.OnFire(at, seq, label)
 		}
-		ev.fn(e, e.now)
+		if fn != nil {
+			fn(e, e.now)
+		} else {
+			sink.HandleEvent(e, e.now, payload)
+		}
 		return true
 	}
 	return false
@@ -211,7 +285,8 @@ func (e *Engine) RunUntil(deadline Time) uint64 {
 	start := e.fired
 	e.stopped = false
 	for !e.stopped {
-		if len(e.queue) == 0 || e.queue[0].at > deadline {
+		e.pruneCancelled()
+		if len(e.heap) == 0 || e.slab[e.heap[0]].at > deadline {
 			break
 		}
 		e.Step()
@@ -230,4 +305,82 @@ func (e *Engine) RunLimit(n uint64) uint64 {
 	for !e.stopped && e.fired-start < n && e.Step() {
 	}
 	return e.fired - start
+}
+
+// pruneCancelled discards cancelled records at the heap root so peeking
+// at the head (RunUntil's deadline check) sees the earliest live event.
+func (e *Engine) pruneCancelled() {
+	for len(e.heap) > 0 && e.slab[e.heap[0]].state == recCancelled {
+		e.freeRec(e.heapPop())
+	}
+}
+
+// --- 4-ary min-heap over slab indices ---------------------------------
+//
+// A 4-ary heap halves the tree depth of the binary heap, trading a
+// slightly wider sift-down for far fewer cache-missing levels — the
+// classic d-ary layout for event queues where pushes outnumber
+// reorderings. Ordering is (at, seq); (at, seq) pairs are unique, so the
+// comparator is a total order and pop order is exactly the old
+// container/heap engine's firing order.
+
+const heapArity = 4
+
+func (e *Engine) heapLess(a, b uint32) bool {
+	ra, rb := &e.slab[a], &e.slab[b]
+	if ra.at != rb.at {
+		return ra.at < rb.at
+	}
+	return ra.seq < rb.seq
+}
+
+func (e *Engine) heapPush(idx uint32) {
+	e.heap = append(e.heap, idx)
+	i := len(e.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / heapArity
+		if !e.heapLess(e.heap[i], e.heap[parent]) {
+			break
+		}
+		e.heap[i], e.heap[parent] = e.heap[parent], e.heap[i]
+		i = parent
+	}
+}
+
+func (e *Engine) heapPop() uint32 {
+	h := e.heap
+	root := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	e.heap = h[:n]
+	if n > 1 {
+		e.siftDown(0)
+	}
+	return root
+}
+
+func (e *Engine) siftDown(i int) {
+	h := e.heap
+	n := len(h)
+	for {
+		first := heapArity*i + 1
+		if first >= n {
+			return
+		}
+		min := first
+		last := first + heapArity
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if e.heapLess(h[c], h[min]) {
+				min = c
+			}
+		}
+		if !e.heapLess(h[min], h[i]) {
+			return
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
 }
