@@ -1,10 +1,10 @@
 # Development and CI entry points. `make ci` is the full gate:
 # build + lint + tests (including the quick-suite golden) + race
-# detector + experiment smoke run.
+# detector + coverage floor + fuzz smoke + experiment smoke run.
 
 GO ?= go
 
-.PHONY: all build test golden race race-obs vet lint bench-quick bench-obs bench-smoke bench-json smoke ci clean
+.PHONY: all build test golden race race-obs race-fault cover cover-check fuzz-smoke vet lint bench-quick bench-obs bench-smoke bench-json smoke ci clean
 
 all: build
 
@@ -27,6 +27,38 @@ race:
 race-obs:
 	$(GO) test -race ./internal/obs ./internal/sim
 	$(GO) test -race -run TestPoolConcurrentSampling ./internal/runner
+
+# Fault-injection race pass: the injector package under -race, plus the
+# pinned fault-enabled determinism and churn tests at core level (one
+# shared read-only plan across systems is part of the contract).
+race-fault:
+	$(GO) test -race ./internal/fault
+	$(GO) test -race -run 'TestFaultRunDeterministic|TestTenantChurnFlushesState' ./internal/core
+
+# Per-package coverage run; prints the repo total and leaves cover.out
+# for `go tool cover -html=cover.out`.
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -1
+
+# Coverage gate: the repo-wide statement coverage must not fall below
+# the floor measured when the gate was added. Raise the floor as
+# coverage grows; never lower it to make a change pass.
+COVER_FLOOR ?= 81.5
+cover-check:
+	@$(GO) test -coverprofile=cover.out ./... > /dev/null
+	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/, "", $$NF); print $$NF}'); \
+	echo "coverage: $${total}% (floor $(COVER_FLOOR)%)"; \
+	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit !(t+0 >= f+0) }' \
+	  || { echo "coverage $${total}% is below the $(COVER_FLOOR)% floor"; exit 1; }
+
+# Fuzz smoke: five seconds of coverage-guided fuzzing on each target
+# (the hardened binary-trace decoder and the SID predictor). The
+# committed seed corpora under testdata/fuzz/ also replay in every
+# ordinary `go test` run.
+fuzz-smoke:
+	$(GO) test ./internal/trace -run '^$$' -fuzz FuzzReadBinary -fuzztime 5s
+	$(GO) test ./internal/device -run '^$$' -fuzz FuzzPredictor -fuzztime 5s
 
 vet:
 	$(GO) vet ./...
@@ -67,7 +99,7 @@ bench-json:
 smoke:
 	$(GO) run ./cmd/experiments -quick -out results-smoke
 
-ci: build lint test golden race race-obs bench-smoke smoke
+ci: build lint test golden race race-obs race-fault cover-check fuzz-smoke bench-smoke smoke
 
 clean:
-	rm -rf results-smoke
+	rm -rf results-smoke cover.out

@@ -9,7 +9,13 @@
 //	hypersio -benchmark iperf3 -tenants 64 -design base -devtlb-entries 1024
 //	hypersio -benchmark mediastream -tenants 128 -design hypertrio -ptb 8 -no-prefetch
 //	hypersio -benchmark iperf3 -tenants 64 -trace run.ndjson -metrics run.json
+//	hypersio -benchmark iperf3 -tenants 32 -faults plan.json
 //	hypersio -design hypertrio -describe
+//
+// Fault injection: -faults FILE loads a JSON fault plan
+// (hypertrio-faultplan/1; see EXPERIMENTS.md) scripting IOTLB
+// invalidations, mid-flight remaps, walker faults and tenant churn
+// against the run, and prints the injector's accounting afterwards.
 //
 // Observability: -trace FILE streams model events (arrivals, drops,
 // DevTLB hits/misses, page walks, prefetches) as NDJSON; -trace-engine
@@ -23,10 +29,12 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"hypertrio"
+	"hypertrio/internal/fault"
 	"hypertrio/internal/obs"
 	"hypertrio/internal/sim"
 	"hypertrio/internal/stats"
@@ -58,38 +66,69 @@ type options struct {
 	engineEvents bool
 	metricsFile  string // metrics snapshot + time series output
 	sampleUs     int
+	faultsFile   string // JSON fault plan input
+}
+
+// parseFlags binds every flag to a fresh options value. Errors (and
+// usage) go to stderr; a non-nil error means flag misuse, which exits
+// with the conventional code 2 rather than a runtime failure's 1.
+func parseFlags(args []string, stderr io.Writer) (options, error) {
+	fs := flag.NewFlagSet("hypersio", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var o options
+	fs.StringVar(&o.benchmark, "benchmark", "iperf3", "workload: iperf3, mediastream, websearch")
+	fs.IntVar(&o.tenants, "tenants", 64, "number of concurrent tenants")
+	fs.StringVar(&o.interleave, "interleave", "RR1", "inter-tenant interleaving: RR1, RR4, RAND1, RR<k>, RAND<k>")
+	fs.StringVar(&o.design, "design", "hypertrio", "hardware design: base or hypertrio")
+	fs.Int64Var(&o.seed, "seed", 42, "trace construction seed")
+	fs.Float64Var(&o.scale, "scale", 0.01, "trace scale in (0,1]; 1.0 is paper scale (~70M requests at 1024 tenants)")
+	fs.StringVar(&o.replayFile, "replay", "", "replay a saved .hsio trace instead of constructing one")
+
+	fs.Float64Var(&o.linkGbps, "link", 200, "I/O link bandwidth in Gb/s")
+	fs.IntVar(&o.ptb, "ptb", 0, "override PTB entries (0 = design default)")
+	fs.IntVar(&o.devtlbSize, "devtlb-entries", 0, "override DevTLB entries, 8-way (0 = design default)")
+	fs.StringVar(&o.policy, "policy", "", "override DevTLB replacement policy: lru, lfu, fifo, rand, oracle, plru")
+	fs.IntVar(&o.chipsetIOTLB, "chipset-iotlb", 0, "enable a shared (unpartitioned) chipset IOTLB with this many entries, 8-way LRU")
+	fs.BoolVar(&o.noPrefetch, "no-prefetch", false, "disable the Prefetch Unit")
+	fs.BoolVar(&o.serial, "serial", false, "serialize a packet's translations (legacy device)")
+	fs.BoolVar(&o.describe, "describe", false, "print the resolved translation datapath and exit without simulating")
+	fs.BoolVar(&o.verbose, "v", false, "print per-structure statistics")
+
+	fs.StringVar(&o.traceFile, "trace", "", "write an NDJSON event trace of the run to FILE")
+	fs.BoolVar(&o.engineEvents, "trace-engine", false, "with -trace: also record event-kernel sched/fire/cancel events")
+	fs.StringVar(&o.metricsFile, "metrics", "", "write the metrics snapshot and time series to FILE (.json or .csv)")
+	fs.IntVar(&o.sampleUs, "sample-us", 10, "time-series sample interval in simulated µs (0 disables the series)")
+	fs.StringVar(&o.faultsFile, "faults", "", "load a JSON fault plan ("+fault.PlanSchema+") and apply it during the run")
+	if err := fs.Parse(args); err != nil {
+		return o, err
+	}
+	if fs.NArg() > 0 {
+		err := fmt.Errorf("unexpected arguments: %v", fs.Args())
+		fmt.Fprintln(stderr, "hypersio:", err)
+		return o, err
+	}
+	return o, nil
+}
+
+// cliMain is main minus the process exit, so tests can drive the full
+// argv-to-exit-code path: 0 success, 1 runtime failure, 2 flag misuse.
+func cliMain(args []string, stdout, stderr io.Writer) int {
+	o, err := parseFlags(args, stderr)
+	if err == flag.ErrHelp {
+		return 0 // -h prints usage and is not an error (matches flag.ExitOnError)
+	}
+	if err != nil {
+		return 2
+	}
+	if err := run(o, stdout); err != nil {
+		fmt.Fprintln(stderr, "hypersio:", err)
+		return 1
+	}
+	return 0
 }
 
 func main() {
-	var o options
-	flag.StringVar(&o.benchmark, "benchmark", "iperf3", "workload: iperf3, mediastream, websearch")
-	flag.IntVar(&o.tenants, "tenants", 64, "number of concurrent tenants")
-	flag.StringVar(&o.interleave, "interleave", "RR1", "inter-tenant interleaving: RR1, RR4, RAND1, RR<k>, RAND<k>")
-	flag.StringVar(&o.design, "design", "hypertrio", "hardware design: base or hypertrio")
-	flag.Int64Var(&o.seed, "seed", 42, "trace construction seed")
-	flag.Float64Var(&o.scale, "scale", 0.01, "trace scale in (0,1]; 1.0 is paper scale (~70M requests at 1024 tenants)")
-	flag.StringVar(&o.replayFile, "replay", "", "replay a saved .hsio trace instead of constructing one")
-
-	flag.Float64Var(&o.linkGbps, "link", 200, "I/O link bandwidth in Gb/s")
-	flag.IntVar(&o.ptb, "ptb", 0, "override PTB entries (0 = design default)")
-	flag.IntVar(&o.devtlbSize, "devtlb-entries", 0, "override DevTLB entries, 8-way (0 = design default)")
-	flag.StringVar(&o.policy, "policy", "", "override DevTLB replacement policy: lru, lfu, fifo, rand, oracle, plru")
-	flag.IntVar(&o.chipsetIOTLB, "chipset-iotlb", 0, "enable a shared (unpartitioned) chipset IOTLB with this many entries, 8-way LRU")
-	flag.BoolVar(&o.noPrefetch, "no-prefetch", false, "disable the Prefetch Unit")
-	flag.BoolVar(&o.serial, "serial", false, "serialize a packet's translations (legacy device)")
-	flag.BoolVar(&o.describe, "describe", false, "print the resolved translation datapath and exit without simulating")
-	flag.BoolVar(&o.verbose, "v", false, "print per-structure statistics")
-
-	flag.StringVar(&o.traceFile, "trace", "", "write an NDJSON event trace of the run to FILE")
-	flag.BoolVar(&o.engineEvents, "trace-engine", false, "with -trace: also record event-kernel sched/fire/cancel events")
-	flag.StringVar(&o.metricsFile, "metrics", "", "write the metrics snapshot and time series to FILE (.json or .csv)")
-	flag.IntVar(&o.sampleUs, "sample-us", 10, "time-series sample interval in simulated µs (0 disables the series)")
-	flag.Parse()
-
-	if err := run(o); err != nil {
-		fmt.Fprintln(os.Stderr, "hypersio:", err)
-		os.Exit(1)
-	}
+	os.Exit(cliMain(os.Args[1:], os.Stdout, os.Stderr))
 }
 
 // validate rejects bad inputs before any page table is built or any
@@ -135,10 +174,13 @@ func (o options) validate() error {
 	if o.engineEvents && o.traceFile == "" {
 		return fmt.Errorf("-trace-engine requires -trace FILE")
 	}
+	if o.faultsFile != "" && o.describe {
+		return fmt.Errorf("-faults has no effect with -describe (nothing is simulated)")
+	}
 	return nil
 }
 
-func run(o options) error {
+func run(o options, out io.Writer) error {
 	if err := o.validate(); err != nil {
 		return err
 	}
@@ -179,12 +221,26 @@ func run(o options) error {
 	}
 	cfg.SerialRequests = o.serial
 
+	if o.faultsFile != "" {
+		f, err := os.Open(o.faultsFile)
+		if err != nil {
+			return err
+		}
+		plan, err := fault.ReadPlan(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("reading %s: %w", o.faultsFile, err)
+		}
+		cfg.Fault = plan
+		fmt.Fprintf(out, "fault plan %s: %d scripted events\n", o.faultsFile, len(plan.Events))
+	}
+
 	if o.describe {
 		desc, err := hypertrio.DescribePipeline(cfg)
 		if err != nil {
 			return err
 		}
-		fmt.Print(desc)
+		fmt.Fprint(out, desc)
 		return nil
 	}
 
@@ -219,12 +275,12 @@ func run(o options) error {
 		if err != nil {
 			return fmt.Errorf("reading %s: %w", o.replayFile, err)
 		}
-		fmt.Printf("replaying %s: %s trace, %d tenants, %v interleave\n",
+		fmt.Fprintf(out, "replaying %s: %s trace, %d tenants, %v interleave\n",
 			o.replayFile, tr.Benchmark, tr.Tenants, tr.Interleave)
 	} else {
 		kind, _ := hypertrio.ParseBenchmark(o.benchmark)
 		iv, _ := hypertrio.ParseInterleave(o.interleave)
-		fmt.Printf("constructing %s trace: %d tenants, %v interleave, scale %g...\n",
+		fmt.Fprintf(out, "constructing %s trace: %d tenants, %v interleave, scale %g...\n",
 			kind, o.tenants, iv, o.scale)
 		tr, err = hypertrio.ConstructTrace(hypertrio.TraceConfig{
 			Benchmark: kind, Tenants: o.tenants, Interleave: iv, Seed: o.seed, Scale: o.scale,
@@ -233,7 +289,7 @@ func run(o options) error {
 			return err
 		}
 	}
-	fmt.Printf("trace: %d packets, %d translation requests (min/max per-tenant budget %s/%s)\n",
+	fmt.Fprintf(out, "trace: %d packets, %d translation requests (min/max per-tenant budget %s/%s)\n",
 		len(tr.Packets), tr.Requests(),
 		stats.Count(uint64(tr.MinTenantBudget())), stats.Count(uint64(tr.MaxTenantBudget())))
 
@@ -245,38 +301,44 @@ func run(o options) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("\n%s design: %s\n", o.design, res)
-	fmt.Printf("  elapsed (simulated): %v\n", res.Elapsed)
-	fmt.Printf("  drops: %d (%.2f%% of arrival slots)\n", res.Drops, res.DropRate()*100)
+	fmt.Fprintf(out, "\n%s design: %s\n", o.design, res)
+	fmt.Fprintf(out, "  elapsed (simulated): %v\n", res.Elapsed)
+	fmt.Fprintf(out, "  drops: %d (%.2f%% of arrival slots)\n", res.Drops, res.DropRate()*100)
 	if !cfg.TranslationOff {
-		fmt.Printf("  avg chipset translation latency: %v\n", res.AvgMissLatency)
-		fmt.Printf("  requests: %s total, %.1f%% DevTLB, %.1f%% prefetch buffer\n",
+		fmt.Fprintf(out, "  avg chipset translation latency: %v\n", res.AvgMissLatency)
+		fmt.Fprintf(out, "  requests: %s total, %.1f%% DevTLB, %.1f%% prefetch buffer\n",
 			stats.Count(res.Requests),
 			pct(res.DevTLBServed, res.Requests), pct(res.PrefetchServed, res.Requests))
 	}
+	if st, ok := sys.FaultStats(); ok {
+		fmt.Fprintf(out, "  faults: %d scripted events applied (%d page / %d tenant invalidations, %d flushes, %d remaps, %d detaches, %d attaches)\n",
+			st.Applied, st.PageInvs, st.TenantInvs, st.Flushes, st.Remaps, st.Detaches, st.Attaches)
+		fmt.Fprintf(out, "          %d cache entries dropped, %d walk retries, %d forced re-walks, %d stale-window hits\n",
+			st.Dropped, st.FaultRetries, st.Rewalks, st.StaleHits)
+	}
 	if o.verbose {
-		fmt.Printf("\nstructures:\n")
-		fmt.Printf("  DevTLB:        %+v\n", res.DevTLB)
-		fmt.Printf("  PTB:           %+v\n", res.PTB)
-		fmt.Printf("  PrefetchUnit:  %+v\n", res.Prefetch)
-		fmt.Printf("  IOMMU:         translations=%d walks=%d memAccesses=%d\n",
+		fmt.Fprintf(out, "\nstructures:\n")
+		fmt.Fprintf(out, "  DevTLB:        %+v\n", res.DevTLB)
+		fmt.Fprintf(out, "  PTB:           %+v\n", res.PTB)
+		fmt.Fprintf(out, "  PrefetchUnit:  %+v\n", res.Prefetch)
+		fmt.Fprintf(out, "  IOMMU:         translations=%d walks=%d memAccesses=%d\n",
 			res.IOMMU.Translations, res.IOMMU.Walks, res.IOMMU.MemAccesses)
-		fmt.Printf("  ContextCache:  %+v\n", res.IOMMU.ContextCache)
-		fmt.Printf("  L2 PWC:        %+v\n", res.IOMMU.L2PWC)
-		fmt.Printf("  L3 PWC:        %+v\n", res.IOMMU.L3PWC)
+		fmt.Fprintf(out, "  ContextCache:  %+v\n", res.IOMMU.ContextCache)
+		fmt.Fprintf(out, "  L2 PWC:        %+v\n", res.IOMMU.L2PWC)
+		fmt.Fprintf(out, "  L3 PWC:        %+v\n", res.IOMMU.L3PWC)
 	}
 
 	if o.traceFile != "" {
 		if err := obsOpts.Tracer.Flush(); err != nil {
 			return fmt.Errorf("writing %s: %w", o.traceFile, err)
 		}
-		fmt.Printf("\nwrote %s (%d events)\n", o.traceFile, obsOpts.Tracer.Events())
+		fmt.Fprintf(out, "\nwrote %s (%d events)\n", o.traceFile, obsOpts.Tracer.Events())
 	}
 	if o.metricsFile != "" {
 		if err := writeMetrics(o.metricsFile, sys, res); err != nil {
 			return err
 		}
-		fmt.Printf("wrote %s\n", o.metricsFile)
+		fmt.Fprintf(out, "wrote %s\n", o.metricsFile)
 	}
 	return nil
 }

@@ -10,7 +10,9 @@ import (
 	"testing"
 
 	"hypertrio"
+	"hypertrio/internal/fault"
 	"hypertrio/internal/obs"
+	"hypertrio/internal/sim"
 	"hypertrio/internal/trace"
 )
 
@@ -43,7 +45,7 @@ func writeTrace(w io.Writer, tr *hypertrio.Trace) error { return trace.Write(w, 
 func TestRunBasic(t *testing.T) {
 	o := base()
 	o.verbose = true
-	if err := run(o); err != nil {
+	if err := run(o, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -57,7 +59,7 @@ func TestRunOverrides(t *testing.T) {
 	o.linkGbps = 100
 	o.ptb, o.devtlbSize = 8, 1024
 	o.noPrefetch, o.serial = true, true
-	if err := run(o); err != nil {
+	if err := run(o, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -86,7 +88,7 @@ func TestRunErrors(t *testing.T) {
 	for _, c := range cases {
 		o := base()
 		c.mut(&o)
-		if err := run(o); err == nil {
+		if err := run(o, io.Discard); err == nil {
 			t.Errorf("%s: expected error", c.name)
 		}
 	}
@@ -99,7 +101,7 @@ func TestValidationBeforeSimulation(t *testing.T) {
 	o := base()
 	o.tenants = -1
 	o.traceFile = filepath.Join(t.TempDir(), "out.ndjson")
-	if err := run(o); err == nil {
+	if err := run(o, io.Discard); err == nil {
 		t.Fatal("expected error")
 	}
 	if _, err := os.Stat(o.traceFile); !os.IsNotExist(err) {
@@ -117,7 +119,7 @@ func TestRunFromReplayFile(t *testing.T) {
 	// Construction inputs are ignored when replaying.
 	o.benchmark, o.tenants, o.scale = "", 0, 0
 	o.replayFile = path
-	if err := run(o); err != nil {
+	if err := run(o, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -130,7 +132,7 @@ func TestTraceAndMetricsOutput(t *testing.T) {
 	o.traceFile = filepath.Join(dir, "out.ndjson")
 	o.engineEvents = true
 	o.metricsFile = filepath.Join(dir, "out.json")
-	if err := run(o); err != nil {
+	if err := run(o, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 
@@ -191,7 +193,7 @@ func TestTraceAndMetricsOutput(t *testing.T) {
 func TestMetricsCSVOutput(t *testing.T) {
 	o := base()
 	o.metricsFile = filepath.Join(t.TempDir(), "out.csv")
-	if err := run(o); err != nil {
+	if err := run(o, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	b, err := os.ReadFile(o.metricsFile)
@@ -218,4 +220,82 @@ func writeTestTrace(path string) error {
 		return err
 	}
 	return writeTrace(f, tr)
+}
+
+// writePlan writes a small valid fault plan and returns its path.
+func writePlan(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "plan.json")
+	plan := &fault.Plan{
+		Seed:  1,
+		Retry: fault.RetryPolicy{MaxRetries: 2, Backoff: 100 * sim.Nanosecond, BackoffMax: sim.Microsecond},
+		Events: []fault.Event{
+			{At: sim.Time(0).Add(10 * sim.Microsecond), Kind: fault.InvalidateTenant, SID: 1},
+			{At: sim.Time(0).Add(20 * sim.Microsecond), Kind: fault.FlushAll},
+		},
+	}
+	var buf strings.Builder
+	if err := plan.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(buf.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestCLIExitCodes drives the full argv-to-exit-code path: flag misuse
+// exits 2, runtime failures exit 1, success exits 0 — with errors on
+// stderr and the report on stdout.
+func TestCLIExitCodes(t *testing.T) {
+	plan := writePlan(t)
+	badPlan := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(badPlan, []byte(`{"schema":"nope/9","events":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	small := []string{"-tenants", "4", "-scale", "0.002"}
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"unknown flag", []string{"-definitely-not-a-flag"}, 2},
+		{"malformed value", []string{"-tenants", "many"}, 2},
+		{"stray positional argument", []string{"extra"}, 2},
+		{"help", []string{"-h"}, 0},
+		{"unknown design", []string{"-design", "fancy"}, 1},
+		{"conflicting trace-engine", []string{"-trace-engine"}, 1},
+		{"conflicting describe+faults", []string{"-describe", "-faults", plan}, 1},
+		{"missing faults file", append(small, "-faults", "/nonexistent/plan.json"), 1},
+		{"bad faults schema", append(small, "-faults", badPlan), 1},
+		{"describe", []string{"-describe"}, 0},
+		{"faulted run", append(small, "-faults", plan), 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var stdout, stderr strings.Builder
+			if got := cliMain(c.args, &stdout, &stderr); got != c.want {
+				t.Fatalf("cliMain(%v) = %d, want %d (stderr: %s)", c.args, got, c.want, stderr.String())
+			}
+			if c.want != 0 && stderr.Len() == 0 {
+				t.Error("failure produced nothing on stderr")
+			}
+		})
+	}
+}
+
+// TestCLIFaultedRunReportsInjector checks -faults end to end: the plan
+// is loaded, applied during the run, and its accounting printed.
+func TestCLIFaultedRunReportsInjector(t *testing.T) {
+	var stdout, stderr strings.Builder
+	args := []string{"-tenants", "4", "-scale", "0.002", "-faults", writePlan(t)}
+	if got := cliMain(args, &stdout, &stderr); got != 0 {
+		t.Fatalf("exit %d, stderr: %s", got, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"fault plan", "2 scripted events", "faults: 2 scripted events applied", "1 flushes"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stdout lacks %q:\n%s", want, out)
+		}
+	}
 }

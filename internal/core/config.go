@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"hypertrio/internal/device"
+	"hypertrio/internal/fault"
 	"hypertrio/internal/iommu"
 	"hypertrio/internal/obs"
 	"hypertrio/internal/pipeline"
@@ -111,6 +112,19 @@ type Config struct {
 	// reads model state, so simulation outcomes are byte-identical with
 	// it on or off.
 	Obs *obs.Options
+
+	// Fault loads a fault-injection script (internal/fault): scripted
+	// invalidations, mid-flight remaps, walker faults and tenant churn
+	// applied at their scripted instants. Nil (the default) builds no
+	// injector and installs no hooks — a fault-free run is byte-identical
+	// to a build without the subsystem. The plan is read-only once the
+	// run starts, so one plan value may be shared across systems.
+	Fault *fault.Plan
+
+	// ExtraStages are appended to the resolved pipeline spec after the
+	// datapath stages — verification and experimental stages (e.g. the
+	// "invariants" conservation checker). Ignored when TranslationOff.
+	ExtraStages []pipeline.StageSpec
 }
 
 // Validate reports configuration errors.
@@ -126,6 +140,9 @@ func (c Config) Validate() error {
 	}
 	if l := c.PageTableLevels; l != 0 && l != 4 && l != 5 {
 		return fmt.Errorf("core: PageTableLevels must be 0, 4 or 5, got %d", l)
+	}
+	if err := c.Fault.Validate(); err != nil {
+		return err
 	}
 	return nil
 }
@@ -154,6 +171,7 @@ func (c Config) PipelineSpec() pipeline.Spec {
 	if c.Prefetch != nil {
 		spec.Stages = append(spec.Stages, pipeline.StageSpec{Kind: "history-reader"})
 	}
+	spec.Stages = append(spec.Stages, c.ExtraStages...)
 	return spec
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"hypertrio/internal/fault"
 	"hypertrio/internal/iommu"
 	"hypertrio/internal/mem"
 	"hypertrio/internal/obs"
@@ -26,9 +27,14 @@ type System struct {
 	engine *sim.Engine
 	dt     sim.Duration // packet inter-arrival gap
 
-	host  *mem.Space
-	ctx   *mem.ContextTable
-	chain *pipeline.Chain
+	host    *mem.Space
+	ctx     *mem.ContextTable
+	tenants map[mem.SID]*mem.NestedTable
+	chain   *pipeline.Chain
+
+	// injector applies the configured fault plan (nil without one; every
+	// consultation in the run path is behind that nil check).
+	injector *fault.Injector
 
 	cursor       int
 	unmapApplied bool
@@ -119,6 +125,7 @@ func NewSystem(cfg Config, tr *trace.Trace) (*System, error) {
 		}
 		tenants[sid] = as.Nested
 	}
+	s.tenants = tenants
 	env := pipeline.Env{
 		Lat: pipeline.Latencies{
 			PCIeOneWay:   cfg.Params.PCIeOneWay,
@@ -136,6 +143,14 @@ func NewSystem(cfg Config, tr *trace.Trace) (*System, error) {
 		if o.EngineEvents && o.Tracer != nil {
 			s.engine.SetProbe(obs.EngineProbe{T: o.Tracer})
 		}
+	}
+	if cfg.Fault != nil {
+		inj, err := fault.NewInjector(cfg.Fault, s, s.otr)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		s.injector = inj
+		env.Faults = inj
 	}
 	chain, err := pipeline.BuildChain(cfg.PipelineSpec(), env)
 	if err != nil {
@@ -178,6 +193,9 @@ func (s *System) register(r *obs.Registry) {
 	r.Gauge("core.walkers_busy", func() float64 { return float64(s.chain.WalkersBusy()) })
 	r.Gauge("core.walk_queue", func() float64 { return float64(s.chain.WalkQueue()) })
 	s.chain.Register(r)
+	if s.injector != nil {
+		s.injector.Register(r, "fault")
+	}
 }
 
 // oracleFlattens counts flattenKeys invocations across all Systems.
@@ -214,6 +232,9 @@ func (s *System) start() {
 	if s.sampler != nil {
 		s.sampler.start(s.engine)
 	}
+	if s.injector != nil {
+		s.injector.Start(s.engine)
+	}
 }
 
 // Run replays the whole trace and returns the metrics. It may be called
@@ -233,7 +254,16 @@ func (s *System) Run() (Result, error) {
 		// Close the final partial window so short runs still get a point.
 		s.sampler.flush(s.engine.Now())
 	}
-	return s.result(), nil
+	if s.injector != nil {
+		if err := s.injector.Err(); err != nil {
+			return Result{}, err
+		}
+	}
+	res := s.result()
+	if err := s.verifyInvariants(res); err != nil {
+		return Result{}, err
+	}
+	return res, nil
 }
 
 func packetRequests(p workload.Packet) [workload.RequestsPerPacket]pipeline.Request {

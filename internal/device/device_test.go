@@ -195,3 +195,85 @@ func TestDefaultPrefetchConfigMatchesTableIV(t *testing.T) {
 		t.Fatalf("default prefetch config %+v does not match Table IV", c)
 	}
 }
+
+func TestPredictorForget(t *testing.T) {
+	p := NewSIDPredictor(3) // one hop of look-ahead
+	for i := 0; i < 4; i++ {
+		p.Observe(1)
+		p.Observe(2)
+		p.Observe(3)
+	}
+	if got, ok := p.Predict(1); !ok || got != 2 {
+		t.Fatalf("Predict(1) = (%d, %v), want (2, true)", got, ok)
+	}
+	p.Forget(2)
+	if _, ok := p.Predict(1); ok {
+		t.Fatal("entry predicting the detached tenant survived Forget")
+	}
+	if _, ok := p.Predict(2); ok {
+		t.Fatal("detached tenant's own entry survived Forget")
+	}
+	if got, ok := p.Predict(3); !ok || got != 1 {
+		t.Fatalf("unrelated entry dropped by Forget: Predict(3) = (%d, %v), want (1, true)", got, ok)
+	}
+}
+
+func TestPredictorForgetClearsLastSeen(t *testing.T) {
+	p := NewSIDPredictor(3)
+	p.Observe(7)
+	p.Forget(7)
+	p.Observe(8)
+	p.Observe(9)
+	if _, ok := p.Predict(7); ok {
+		t.Fatal("learned a successor for a tenant detached mid-stream")
+	}
+	if got, ok := p.Predict(8); !ok || got != 9 {
+		t.Fatalf("Predict(8) = (%d, %v), want (9, true)", got, ok)
+	}
+}
+
+func TestPrefetchUnitTenantInvalidation(t *testing.T) {
+	u := NewPrefetchUnit(PrefetchConfig{BufferEntries: 4, HistoryLen: 3, Degree: 2})
+	for i := 0; i < 4; i++ {
+		u.Predictor().Observe(1)
+		u.Predictor().Observe(2)
+	}
+	u.Complete(1, []tlb.Entry{{Key: key(1, 10)}, {Key: key(1, 11)}}, 0)
+	u.Complete(2, []tlb.Entry{{Key: key(2, 20)}}, 0)
+	if _, ok := u.ShouldPrefetch(1); !ok {
+		t.Fatal("prefetch not issued before the teardown")
+	}
+	// Tear tenant 2 down: buffered translations, the predictor's successor
+	// knowledge and the in-flight marker all go.
+	if n := u.InvalidateSID(2); n != 1 {
+		t.Fatalf("InvalidateSID dropped %d buffer entries, want 1", n)
+	}
+	if _, ok := u.Lookup(key(2, 20)); ok {
+		t.Fatal("tenant 2 entry survived its teardown")
+	}
+	if _, ok := u.Lookup(key(1, 10)); !ok {
+		t.Fatal("tenant 1 entry dropped by tenant 2's teardown")
+	}
+	if _, ok := u.ShouldPrefetch(1); ok {
+		t.Fatal("prediction into the detached tenant survived")
+	}
+}
+
+func TestPrefetchUnitFlushAllKeepsPredictor(t *testing.T) {
+	u := NewPrefetchUnit(PrefetchConfig{BufferEntries: 4, HistoryLen: 3, Degree: 2})
+	for i := 0; i < 4; i++ {
+		u.Predictor().Observe(1)
+		u.Predictor().Observe(2)
+	}
+	u.Complete(1, []tlb.Entry{{Key: key(1, 10)}, {Key: key(2, 20)}}, 0)
+	if n := u.FlushAll(); n != 2 {
+		t.Fatalf("FlushAll dropped %d entries, want 2", n)
+	}
+	if _, ok := u.Lookup(key(1, 10)); ok {
+		t.Fatal("entry survived the broadcast flush")
+	}
+	// The successor relation names tenants, not translations: it survives.
+	if got, ok := u.Predictor().Predict(1); !ok || got != 2 {
+		t.Fatalf("flush dropped predictor state: Predict(1) = (%d, %v), want (2, true)", got, ok)
+	}
+}

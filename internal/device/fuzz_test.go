@@ -1,0 +1,57 @@
+package device
+
+import (
+	"testing"
+
+	"hypertrio/internal/mem"
+)
+
+// FuzzPredictor drives the SID-predictor with an arbitrary interleaving
+// of Observe, Predict, Forget and SetHistoryLen and asserts its standing
+// invariants: no panic, Hops() >= 1, burst EWMA >= 1 (run lengths are at
+// least one packet), and a just-forgotten tenant is unreachable from any
+// prediction until re-observed.
+func FuzzPredictor(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 1, 2, 3, 1, 2, 3}, uint8(48))
+	f.Add([]byte{0x81, 1, 0x41, 1, 0x81}, uint8(0)) // forget/predict churn, default register
+	f.Add([]byte{7, 7, 7, 7, 0xC7, 7}, uint8(3))    // long burst then forget+predict
+
+	f.Fuzz(func(t *testing.T, ops []byte, histLen uint8) {
+		p := NewSIDPredictor(int(histLen))
+		for _, op := range ops {
+			sid := mem.SID(op&0x0F) + 1
+			switch {
+			case op&0x80 != 0 && op&0x40 != 0:
+				p.Forget(sid)
+				// A forgotten tenant has no entry and nothing predicting
+				// it: no chain of any length can reach it.
+				for probe := mem.SID(1); probe <= 16; probe++ {
+					if got, ok := p.Predict(probe); ok && got == sid {
+						t.Fatalf("Predict(%d) = %d right after Forget(%d)", probe, got, sid)
+					}
+				}
+			case op&0x80 != 0:
+				p.Forget(sid)
+			case op&0x40 != 0:
+				p.Predict(sid)
+			case op&0x20 != 0:
+				p.SetHistoryLen(int(op & 0x1F))
+			default:
+				p.Observe(sid)
+			}
+			if p.Hops() < 1 {
+				t.Fatalf("Hops() = %d, want >= 1", p.Hops())
+			}
+			if p.HistoryLen() <= 0 {
+				t.Fatalf("HistoryLen() = %d, want > 0", p.HistoryLen())
+			}
+			s := p.Stats()
+			if s.BurstEWMA < 1 {
+				t.Fatalf("burst EWMA %v dropped below 1 (run lengths are >= 1)", s.BurstEWMA)
+			}
+			if s.Predictions < s.Unknowns {
+				t.Fatalf("stats inconsistent: %d unknowns out of %d predictions", s.Unknowns, s.Predictions)
+			}
+		}
+	})
+}

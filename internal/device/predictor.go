@@ -106,6 +106,23 @@ func (p *SIDPredictor) Predict(current mem.SID) (mem.SID, bool) {
 	return sid, true
 }
 
+// Forget drops a detached tenant from the successor table: entries keyed
+// by the SID and entries predicting it (the PTag flush of §III applied to
+// the predictor). The last-seen state is cleared too if it names the
+// tenant, so the next observation starts a fresh burst.
+func (p *SIDPredictor) Forget(sid mem.SID) {
+	delete(p.successor, sid)
+	for from, to := range p.successor {
+		if to == sid {
+			delete(p.successor, from)
+		}
+	}
+	if p.haveLast && p.last == sid {
+		p.haveLast = false
+		p.runLen = 0
+	}
+}
+
 // PredictorStats reports predictor traffic.
 type PredictorStats struct {
 	Predictions uint64

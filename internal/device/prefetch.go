@@ -134,6 +134,23 @@ func (u *PrefetchUnit) Invalidate(sid mem.SID, iova uint64, pageShift uint8) {
 	u.buffer.Invalidate(iommu.PageKey(sid, iova, pageShift))
 }
 
+// InvalidateSID flushes every per-tenant structure of the unit: buffered
+// translations, the predictor's successor knowledge, and the in-flight
+// marker (a prefetch completing after the teardown re-installs nothing
+// useful; dropping the marker lets the re-attached tenant prefetch
+// again). Returns how many buffer entries were dropped.
+func (u *PrefetchUnit) InvalidateSID(sid mem.SID) int {
+	n := u.buffer.InvalidateSID(uint16(sid))
+	u.predictor.Forget(sid)
+	delete(u.inflight, sid)
+	return n
+}
+
+// FlushAll empties the Prefetch Buffer (broadcast invalidation). The
+// predictor's learned successor relation survives — it names tenants, not
+// translations.
+func (u *PrefetchUnit) FlushAll() int { return u.buffer.Flush() }
+
 // PrefetchStats reports the unit's effectiveness.
 type PrefetchStats struct {
 	Issued     uint64

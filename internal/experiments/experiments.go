@@ -16,6 +16,7 @@ import (
 
 	"hypertrio/internal/core"
 	"hypertrio/internal/obs"
+	"hypertrio/internal/pipeline"
 	"hypertrio/internal/runner"
 	"hypertrio/internal/sim"
 	"hypertrio/internal/stats"
@@ -42,6 +43,14 @@ type Options struct {
 	// SeriesDir, when set together with SampleEvery, receives one CSV
 	// per cell (cell-000.csv, ... in submission order) for each sweep.
 	SeriesDir string
+	// Invariants composes the conservation-checking pipeline stage
+	// ("invariants") into every simulation cell. The checker is
+	// transparent — rendered tables are byte-identical with it on or
+	// off — but any conservation violation (a packet completing without
+	// admission, PTB occupancy escaping its capacity, attempts not
+	// equalling packets plus drops) fails the sweep instead of skewing
+	// a table silently.
+	Invariants bool
 }
 
 // DefaultOptions is what cmd/experiments uses.
@@ -74,6 +83,8 @@ var All = []Experiment{
 	{"ext-walkers", "Extension: IOMMU walker-concurrency sweep", ExtWalkers},
 	{"ext-5level", "Extension: 4- vs 5-level page tables (24- vs 35-access walks)", ExtFiveLevel},
 	{"ext-isolation", "Extension: per-tenant latency fairness (isolation)", ExtIsolation},
+	{"ext-faults", "Extension: scripted invalidation-rate sweep (fault injection)", ExtFaults},
+	{"ext-churn", "Extension: tenant-churn sweep (fault injection)", ExtChurn},
 }
 
 // Lookup finds an experiment by ID.
@@ -168,12 +179,23 @@ func (s *sweep) simTrace(cfg core.Config, tc trace.Config) {
 // writes the per-cell time series under SeriesDir.
 func (s *sweep) run() (*results, error) {
 	cells := s.cells
-	if s.o.SampleEvery > 0 {
-		shared := &obs.Options{SampleEvery: s.o.SampleEvery}
+	if s.o.SampleEvery > 0 || s.o.Invariants {
 		cells = make([]runner.Cell, len(s.cells))
 		copy(cells, s.cells)
+	}
+	if s.o.SampleEvery > 0 {
+		shared := &obs.Options{SampleEvery: s.o.SampleEvery}
 		for i := range cells {
 			cells[i].Config.Obs = shared
+		}
+	}
+	if s.o.Invariants {
+		for i := range cells {
+			// Fresh slice per cell: never share a backing array with the
+			// submitted spec (TranslationOff cells ignore ExtraStages).
+			extra := make([]pipeline.StageSpec, 0, len(cells[i].Config.ExtraStages)+1)
+			extra = append(extra, cells[i].Config.ExtraStages...)
+			cells[i].Config.ExtraStages = append(extra, pipeline.StageSpec{Kind: "invariants"})
 		}
 	}
 	rs, err := runner.Pool{Workers: s.o.Workers}.Run(cells)

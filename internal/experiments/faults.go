@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hypertrio/internal/core"
+	"hypertrio/internal/fault"
+	"hypertrio/internal/sim"
+	"hypertrio/internal/stats"
+	"hypertrio/internal/trace"
+	"hypertrio/internal/workload"
+)
+
+// The two sweeps below exercise the scripted fault-injection subsystem
+// (internal/fault) at experiment scale. The paper's evaluation assumes a
+// quiescent control plane: no IOTLB shootdowns, no tenant churn, no
+// walker faults. Real hyper-tenant hosts have all three, so these
+// extensions measure how much of HyperTRIO's advantage survives an
+// active control plane.
+//
+// Both experiments run a fault-free pass first: its elapsed time is the
+// horizon the plans are scripted against, so "N events per run" means
+// the same thing at every trace scale and the zero row doubles as the
+// baseline. Plans derive from (Options.Seed, horizon) only, so the
+// rendered tables stay deterministic for a given (Seed, Quick).
+
+// faultDesigns are the configurations both sweeps compare. The middle
+// one is HyperTRIO's partitioning alone (single PTB entry, no
+// prefetching): with the DevTLB on the critical path and no latency
+// hiding, it exposes the raw cost of every scripted fault that the full
+// design's deep PTB absorbs.
+var faultDesigns = []struct {
+	name string
+	cfg  func() core.Config
+}{
+	{"Base", core.BaseConfig},
+	{"part", partitionedConfig},
+	{"HyperTRIO", core.HyperTRIOConfig},
+}
+
+func partitionedConfig() core.Config {
+	cfg := core.HyperTRIOConfig()
+	cfg.PTBEntries = 1
+	cfg.Prefetch = nil
+	return cfg
+}
+
+// cleanPass runs one fault-free cell per design and returns the results
+// (the sweep's zero rows) alongside each design's horizon.
+func cleanPass(o Options, kind workload.Kind, tenants int, iv trace.Interleave) ([]core.Result, []sim.Duration, error) {
+	sw := newSweep(o)
+	for _, d := range faultDesigns {
+		sw.sim(d.cfg(), kind, tenants, iv)
+	}
+	res, err := sw.run()
+	if err != nil {
+		return nil, nil, err
+	}
+	base := make([]core.Result, len(faultDesigns))
+	horizon := make([]sim.Duration, len(faultDesigns))
+	for i := range faultDesigns {
+		base[i] = res.next()
+		if base[i].Elapsed <= 0 {
+			return nil, nil, fmt.Errorf("fault sweep: clean %s run reports no elapsed time", faultDesigns[i].name)
+		}
+		horizon[i] = base[i].Elapsed
+	}
+	return base, horizon, nil
+}
+
+// ExtFaults sweeps the control-plane invalidation rate: N scripted
+// invalidations spread over the run, either targeted (the victim
+// tenant's always-hot ring page, the cheapest possible shootdown) or a
+// full per-tenant flush (a domain-wide shootdown). Targeted
+// invalidations cost one re-walk each; shootdowns also re-cool the
+// victim's whole working set, which hits the Base design's single
+// shared DevTLB far harder than HyperTRIO's partitions.
+func ExtFaults(o Options) (*stats.Table, error) {
+	// 16 tenants keeps every design in a hit-capable regime (at high
+	// tenant counts Base is miss-dominated already and invalidations
+	// have nothing left to evict); the rate is the swept variable.
+	const tenants = 16
+	counts := []int{256, 1024, 4096}
+	if o.Quick {
+		counts = []int{64, 256}
+	}
+	base, horizon, err := cleanPass(o, workload.Iperf3, tenants, trace.RR1)
+	if err != nil {
+		return nil, err
+	}
+	modes := []bool{true, false} // targeted page invalidation, then tenant shootdown
+	sw := newSweep(o)
+	for _, n := range counts {
+		for i, d := range faultDesigns {
+			for _, targeted := range modes {
+				cfg := d.cfg()
+				cfg.Fault = fault.InvalidationPlan(o.Seed, tenants,
+					horizon[i]/sim.Duration(n+1), horizon[i], targeted)
+				sw.sim(cfg, workload.Iperf3, tenants, trace.RR1)
+			}
+		}
+	}
+	res, err := sw.run()
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable(
+		fmt.Sprintf("Extension: scripted invalidation-rate sweep (iperf3, %d tenants, Gb/s)", tenants),
+		"invalidations", "Base page", "Base shootdown", "part page", "part shootdown",
+		"HyperTRIO page", "HyperTRIO shootdown")
+	zero := []string{"0"}
+	for i := range faultDesigns {
+		zero = append(zero, gbps(base[i]), gbps(base[i]))
+	}
+	t.AddRow(zero...)
+	for _, n := range counts {
+		row := []string{itoa(n)}
+		for range faultDesigns {
+			for range modes {
+				row = append(row, gbps(res.next()))
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// ExtChurn sweeps tenant churn: N times per run a tenant detaches —
+// flushing its PTag from every translation structure in the datapath —
+// and re-attaches shortly after, restarting cold against its persistent
+// page tables. Churn converts steady-state hits back into
+// two-dimensional walks, so the miss latency and walk count columns
+// show the cost HyperTRIO's latency-hiding has to absorb.
+func ExtChurn(o Options) (*stats.Table, error) {
+	// Same reasoning as ExtFaults: 16 tenants keeps warm state worth
+	// flushing; the churn rate is the swept variable.
+	const tenants = 16
+	churns := []int{8, 32, 128}
+	if o.Quick {
+		churns = []int{8, 32}
+	}
+	base, horizon, err := cleanPass(o, workload.Mediastream, tenants, trace.RR4)
+	if err != nil {
+		return nil, err
+	}
+	sw := newSweep(o)
+	for _, c := range churns {
+		for i, d := range faultDesigns {
+			cfg := d.cfg()
+			// Downtime 0 means the generator's default: a quarter period
+			// offline per churn event.
+			cfg.Fault = fault.ChurnPlan(o.Seed, tenants,
+				horizon[i]/sim.Duration(c+1), 0, horizon[i])
+			sw.sim(cfg, workload.Mediastream, tenants, trace.RR4)
+		}
+	}
+	res, err := sw.run()
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable(
+		fmt.Sprintf("Extension: tenant-churn sweep (mediastream, %d tenants, RR4)", tenants),
+		"churn events", "Base", "part", "HyperTRIO", "HyperTRIO miss lat", "HyperTRIO walks")
+	t.AddRow("0", gbps(base[0]), gbps(base[1]), gbps(base[2]),
+		base[2].AvgMissLatency.String(), itoa(int(base[2].IOMMU.Walks)))
+	for _, c := range churns {
+		b, p, h := res.next(), res.next(), res.next()
+		t.AddRow(itoa(c), gbps(b), gbps(p), gbps(h),
+			h.AvgMissLatency.String(), itoa(int(h.IOMMU.Walks)))
+	}
+	return t, nil
+}

@@ -1,0 +1,82 @@
+package fault
+
+import (
+	"math/rand"
+
+	"hypertrio/internal/mem"
+	"hypertrio/internal/sim"
+	"hypertrio/internal/workload"
+)
+
+// The generators below materialize the experiment suite's fault
+// scripts. They are pure functions of their arguments — a seeded
+// math/rand source makes every derived plan reproducible, and the
+// resulting Plan is plain data, shareable read-only across concurrently
+// running simulation cells.
+
+// InvalidationPlan scripts periodic invalidations over [0, horizon): one
+// event every period, cycling over the tenant population chosen by a
+// seeded source. targeted invalidates the victim's always-hot ring page
+// (the canonical gIOVA layout guarantees it exists); otherwise the whole
+// tenant is invalidated (a domain-wide shootdown).
+func InvalidationPlan(seed int64, tenants int, period, horizon sim.Duration, targeted bool) *Plan {
+	p := &Plan{Seed: seed, Retry: DefaultRetryPolicy()}
+	if period <= 0 || tenants <= 0 {
+		return p
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for at := sim.Time(0).Add(period); at < sim.Time(horizon); at = at.Add(period) {
+		sid := mem.SID(rng.Intn(tenants) + 1)
+		if targeted {
+			p.Events = append(p.Events, Event{
+				At: at, Kind: InvalidatePage, SID: sid,
+				IOVA: workload.RingPageFor(sid), Shift: uint8(mem.PageShift),
+			})
+		} else {
+			p.Events = append(p.Events, Event{At: at, Kind: InvalidateTenant, SID: sid})
+		}
+	}
+	return p
+}
+
+// ChurnPlan scripts tenant churn over [0, horizon): every period one
+// tenant (chosen by a seeded source) detaches — flushing its per-PTag
+// state across the datapath — and re-attaches downtime later. Page
+// tables persist across the pair, so the tenant restarts cold but
+// correct.
+func ChurnPlan(seed int64, tenants int, period, downtime, horizon sim.Duration) *Plan {
+	p := &Plan{Seed: seed, Retry: DefaultRetryPolicy()}
+	if period <= 0 || tenants <= 0 {
+		return p
+	}
+	if downtime <= 0 {
+		downtime = period / 4
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for at := sim.Time(0).Add(period); at < sim.Time(horizon); at = at.Add(period) {
+		sid := mem.SID(rng.Intn(tenants) + 1)
+		p.Events = append(p.Events,
+			Event{At: at, Kind: Detach, SID: sid},
+			Event{At: at.Add(downtime), Kind: Attach, SID: sid},
+		)
+	}
+	sortEvents(p.Events)
+	return p
+}
+
+// WalkerFaultPlan scripts periodic walker-fault windows over
+// [0, horizon): every period the walker faults for the next burst
+// attempts, retrying under policy.
+func WalkerFaultPlan(seed int64, period, horizon sim.Duration, burst int, policy RetryPolicy) *Plan {
+	p := &Plan{Seed: seed, Retry: policy.withDefaults()}
+	if period <= 0 {
+		return p
+	}
+	if burst <= 0 {
+		burst = 1
+	}
+	for at := sim.Time(0).Add(period); at < sim.Time(horizon); at = at.Add(period) {
+		p.Events = append(p.Events, Event{At: at, Kind: WalkerFault, N: burst})
+	}
+	return p
+}

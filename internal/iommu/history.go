@@ -89,5 +89,8 @@ func (h *History) Drop(sid mem.SID, iova uint64, pageShift uint8) {
 	}
 }
 
+// DropSID forgets a tenant's whole history (tenant teardown).
+func (h *History) DropSID(sid mem.SID) { delete(h.bySID, sid) }
+
 // Tenants reports how many SIDs have history; for tests.
 func (h *History) Tenants() int { return len(h.bySID) }

@@ -226,6 +226,34 @@ func (u *IOMMU) Invalidate(sid mem.SID, iova uint64, pageShift uint8) {
 	u.history.Drop(sid, iova, pageShift)
 }
 
+// InvalidateSID drops every chipset-cached structure belonging to one
+// tenant — the domain-wide invalidation a hypervisor issues at tenant
+// teardown (context-cache entry, IOTLB and walk-cache entries, and the
+// per-DID IOVA history). It returns how many cache entries were dropped.
+func (u *IOMMU) InvalidateSID(sid mem.SID) int {
+	n := u.cc.InvalidateSID(uint16(sid))
+	if u.iotlb != nil {
+		n += u.iotlb.InvalidateSID(uint16(sid))
+	}
+	n += u.l2pwc.InvalidateSID(uint16(sid))
+	n += u.l3pwc.InvalidateSID(uint16(sid))
+	u.history.DropSID(sid)
+	return n
+}
+
+// FlushAll empties every chipset cache (a global invalidation command)
+// and returns how many entries were dropped. Histories survive — they
+// live in main memory, not in chipset state.
+func (u *IOMMU) FlushAll() int {
+	n := u.cc.Flush()
+	if u.iotlb != nil {
+		n += u.iotlb.Flush()
+	}
+	n += u.l2pwc.Flush()
+	n += u.l3pwc.Flush()
+	return n
+}
+
 // History returns the per-DID IOVA history store.
 func (u *IOMMU) History() *History { return u.history }
 

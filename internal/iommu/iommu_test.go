@@ -292,3 +292,64 @@ func TestPageKeyGranules(t *testing.T) {
 		t.Fatal("offsets within one 2M page produced different keys")
 	}
 }
+
+func TestInvalidateSIDScoped(t *testing.T) {
+	ct, tenants, spaces := buildTenants(t, 2, workload.Mediastream)
+	u := New(testConfig(4), ct, tenants)
+	for _, as := range spaces {
+		if _, err := u.Translate(as.SID, as.Ring, workload.PageShiftOf(as.Ring), true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	victim, other := spaces[0], spaces[1]
+	if n := u.InvalidateSID(victim.SID); n == 0 {
+		t.Fatal("InvalidateSID dropped no chipset state after a translation")
+	}
+	if got := u.History().AppendRecent(nil, victim.SID, 8); len(got) != 0 {
+		t.Fatalf("victim's history survived teardown: %v", got)
+	}
+	if got := u.History().AppendRecent(nil, other.SID, 8); len(got) == 0 {
+		t.Fatal("other tenant's history dropped by a scoped invalidation")
+	}
+	res, err := u.Translate(other.SID, other.Ring, workload.PageShiftOf(other.Ring), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.IOTLBHit {
+		t.Fatal("other tenant's IOTLB entry dropped by a scoped invalidation")
+	}
+	res, err = u.Translate(victim.SID, victim.Ring, workload.PageShiftOf(victim.Ring), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IOTLBHit {
+		t.Fatal("victim's IOTLB entry survived teardown")
+	}
+}
+
+func TestFlushAllKeepsHistory(t *testing.T) {
+	ct, tenants, spaces := buildTenants(t, 2, workload.Mediastream)
+	u := New(testConfig(4), ct, tenants)
+	for _, as := range spaces {
+		if _, err := u.Translate(as.SID, as.Ring, workload.PageShiftOf(as.Ring), true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := u.FlushAll(); n == 0 {
+		t.Fatal("FlushAll dropped nothing after translations")
+	}
+	for _, as := range spaces {
+		// The per-DID IOVA history lives in main memory, not chipset state:
+		// a broadcast invalidation must not touch it.
+		if got := u.History().AppendRecent(nil, as.SID, 8); len(got) == 0 {
+			t.Fatalf("SID %d history dropped by FlushAll", as.SID)
+		}
+		res, err := u.Translate(as.SID, as.Ring, workload.PageShiftOf(as.Ring), true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.IOTLBHit {
+			t.Fatalf("SID %d IOTLB entry survived FlushAll", as.SID)
+		}
+	}
+}

@@ -21,6 +21,13 @@ const TraceSchema = "hypertrio-trace/1"
 //	walk_start, walk_end                    — chipset page-table walks
 //	prefetch_issue, prefetch_fill, prefetch_abort
 //
+// a loaded fault plan (internal/fault) additionally emits
+//
+//	invalidate, remap, walker_fault         — scripted events firing
+//	detach, attach                          — tenant churn
+//	fault_retry                             — a faulted walk backing off
+//	rewalk, stale_hit                       — re-walk / stale-window tracking
+//
 // and, with Options.EngineEvents, the kernel emits sched, fire, cancel.
 // Optional fields are omitted when zero. IOVA is hex-encoded because
 // guest addresses exceed JSON's exact-integer range.

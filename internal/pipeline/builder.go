@@ -51,6 +51,9 @@ type Env struct {
 	// Belady-policy cache stages; consulted only when such a stage is in
 	// the spec. Nil leaves the future unset (Describe-only builds).
 	OracleKeys func() []tlb.Key
+	// Faults is the fault injector's hook (nil in every fault-free run;
+	// every consultation in the chain is nil-guarded).
+	Faults FaultHook
 }
 
 // Builder constructs one stage from its spec. The Build carries what
@@ -66,6 +69,9 @@ type Build struct {
 	Pool         *WalkerPool
 	PrefetchUnit *device.PrefetchUnit
 	Chipset      *iommu.IOMMU
+	// Admitter is the admission role as bound so far; a later stage (the
+	// invariant checker) can decorate it and take over the role.
+	Admitter Admitter
 }
 
 var builders = map[string]Builder{}
@@ -119,6 +125,7 @@ func init() {
 		return &ChipsetStage{
 			mmu: b.Chipset, pool: b.Pool, lat: b.Env.Lat,
 			tracer: b.Env.Tracer, walkers: spec.Walkers,
+			faults: b.Env.Faults,
 		}, nil
 	})
 	RegisterBuilder("history-reader", func(spec StageSpec, b *Build) (Stage, error) {
@@ -139,6 +146,7 @@ func BuildChain(spec Spec, env Env) (*Chain, error) {
 	b := &Build{Env: env}
 	c := &Chain{
 		tracer: env.Tracer,
+		faults: env.Faults,
 		pool:   NewWalkerPool(0),
 		admit:  noopAdmitter{},
 		issuer: noopIssuer{},
@@ -159,6 +167,7 @@ func BuildChain(spec Spec, env Env) (*Chain, error) {
 		c.stages = append(c.stages, st)
 		if a, ok := st.(Admitter); ok {
 			c.admit = a
+			b.Admitter = a
 		}
 		if r, ok := st.(Resolver); ok {
 			c.resolver = r
@@ -185,6 +194,9 @@ func BuildChain(spec Spec, env Env) (*Chain, error) {
 			c.probes = append(c.probes, p)
 			c.probeServed = append(c.probeServed, c.Served(p.Name()))
 			c.probeHitEv = append(c.probeHitEv, p.HitEvent())
+		}
+		if iv, ok := st.(Invalidator); ok {
+			c.invalidators = append(c.invalidators, iv)
 		}
 	}
 	// Demand completions refill the device-side probe stages in order.

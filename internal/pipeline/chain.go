@@ -27,6 +27,14 @@ type Chain struct {
 	tracer *obs.Tracer
 	pool   *WalkerPool
 
+	// faults is the fault injector's hook (nil in every fault-free run;
+	// all uses are nil-guarded so the hot path is untouched without it).
+	faults FaultHook
+	// invalidators are the stages holding per-tenant state, precomputed
+	// at build time so tenant-scoped and broadcast invalidations are one
+	// tight loop in chain order.
+	invalidators []Invalidator
+
 	// Role bindings resolved at build time; no-op placeholders keep the
 	// packet path branch-free when a role is absent.
 	admit    Admitter
@@ -69,6 +77,9 @@ func (c *Chain) Lookup(e *sim.Engine, rq Request) bool {
 				c.tracer.Emit(obs.Event{T: int64(e.Now()), Ev: c.probeHitEv[i],
 					SID: uint16(rq.SID), IOVA: obs.Hex(rq.IOVA), Shift: rq.Shift})
 			}
+			if c.faults != nil {
+				c.faults.OnProbeHit(e.Now(), rq.SID, rq.IOVA, rq.Shift)
+			}
 			return true
 		}
 	}
@@ -96,6 +107,27 @@ func (c *Chain) Invalidate(sid mem.SID, iova uint64, shift uint8) {
 	for _, st := range c.stages {
 		st.Invalidate(sid, iova, shift)
 	}
+}
+
+// InvalidateSID drops every stage's cached state for one tenant (SID
+// teardown / domain-wide invalidation), device side first, and returns
+// how many cached objects were dropped across the chain.
+func (c *Chain) InvalidateSID(sid mem.SID) int {
+	n := 0
+	for _, iv := range c.invalidators {
+		n += iv.InvalidateSID(sid)
+	}
+	return n
+}
+
+// FlushAll empties every stage's cached translations (a broadcast
+// invalidation command) and returns how many entries were dropped.
+func (c *Chain) FlushAll() int {
+	n := 0
+	for _, iv := range c.invalidators {
+		n += iv.FlushAll()
+	}
+	return n
 }
 
 // Register publishes every stage's cells under its stage name, plus the

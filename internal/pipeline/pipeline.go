@@ -106,6 +106,37 @@ type Issuer interface {
 	Issue(e *sim.Engine, current mem.SID)
 }
 
+// Invalidator marks stages holding per-tenant cached state that a
+// tenant-scoped or broadcast invalidation must reach. Stages without such
+// state (admission, history reader) simply do not implement it.
+type Invalidator interface {
+	Stage
+	// InvalidateSID drops every cached object belonging to one tenant
+	// (SID teardown / domain flush), returning how many were dropped.
+	InvalidateSID(sid mem.SID) int
+	// FlushAll drops every cached translation the stage holds (broadcast
+	// invalidation), returning how many were dropped.
+	FlushAll() int
+}
+
+// FaultHook is the chain's view of a fault injector (internal/fault).
+// Every call site is nil-guarded, so a chain built without a hook pays
+// nothing — the zero-cost-off guarantee the golden suite pins.
+type FaultHook interface {
+	// WalkAttempt is consulted before each page-table walk attempt
+	// (attempt 0 is the first). When faulted is true the walker must back
+	// off retryIn and re-attempt; the stage counts and traces the retry.
+	WalkAttempt(now sim.Time, sid mem.SID, attempt int) (retryIn sim.Duration, faulted bool)
+	// OnWalk observes a walk that is actually executing (after any
+	// retries), letting the injector detect forced re-walks of pages it
+	// remapped.
+	OnWalk(now sim.Time, sid mem.SID, iova uint64, shift uint8)
+	// OnProbeHit observes a device-side probe hit, letting the injector
+	// detect hits inside a stale-translation window (a remap whose
+	// invalidation has not been issued yet).
+	OnProbeHit(now sim.Time, sid mem.SID, iova uint64, shift uint8)
+}
+
 // Latencies are the physical model parameters the datapath charges
 // (paper Table II), plus the link slot gap the history reader uses to
 // express observed prefetch latency in requests.

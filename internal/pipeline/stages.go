@@ -59,6 +59,9 @@ func (st *CacheStage) Invalidate(sid mem.SID, iova uint64, shift uint8) {
 	st.cache.Invalidate(iommu.PageKey(sid, iova, shift))
 }
 
+func (st *CacheStage) InvalidateSID(sid mem.SID) int { return st.cache.InvalidateSID(uint16(sid)) }
+func (st *CacheStage) FlushAll() int                 { return st.cache.Flush() }
+
 func (st *CacheStage) Register(r *obs.Registry, p string) { st.cache.Register(r, p) }
 
 // Cache exposes the underlying structure for stats and tests.
@@ -91,6 +94,9 @@ func (st *PrefetchBufferStage) Invalidate(sid mem.SID, iova uint64, shift uint8)
 	st.pu.Invalidate(sid, iova, shift)
 }
 
+func (st *PrefetchBufferStage) InvalidateSID(sid mem.SID) int { return st.pu.InvalidateSID(sid) }
+func (st *PrefetchBufferStage) FlushAll() int                 { return st.pu.FlushAll() }
+
 func (st *PrefetchBufferStage) Register(r *obs.Registry, p string) { st.pu.Register(r, p) }
 
 // Unit exposes the prefetch unit for stats and the history reader.
@@ -121,8 +127,9 @@ type ChipsetStage struct {
 	pool    *WalkerPool
 	lat     Latencies
 	tracer  *obs.Tracer
-	fills   []Stage // device-side stages refilled by demand completions
-	walkers int     // configured cap (0 = unlimited), for Describe
+	faults  FaultHook // nil in every fault-free run
+	fills   []Stage   // device-side stages refilled by demand completions
+	walkers int       // configured cap (0 = unlimited), for Describe
 
 	walks []chipsetWalk // pooled in-flight miss records
 	free  []uint32
@@ -135,6 +142,7 @@ type chipsetWalk struct {
 	ctx     uint64 // the caller's context word, threaded through
 	walk    sim.Duration
 	hpaBase uint64
+	attempt uint8 // walk attempts faulted so far (walker-fault retries)
 }
 
 // Event kinds for the chipset's typed events, stored in payload bits
@@ -143,6 +151,7 @@ const (
 	ckArrive   uint64 = iota // PCIe trip done: claim a walker
 	ckWalkEnd                // memory accesses done: release the walker
 	ckComplete               // return PCIe trip done: refill and complete
+	ckRetry                  // walker-fault backoff elapsed: re-attempt the walk
 )
 
 func (st *ChipsetStage) alloc() uint32 {
@@ -167,6 +176,9 @@ func (st *ChipsetStage) Fill(Request, uint64) {}
 func (st *ChipsetStage) Invalidate(sid mem.SID, iova uint64, shift uint8) {
 	st.mmu.Invalidate(sid, iova, shift)
 }
+
+func (st *ChipsetStage) InvalidateSID(sid mem.SID) int { return st.mmu.InvalidateSID(sid) }
+func (st *ChipsetStage) FlushAll() int                 { return st.mmu.FlushAll() }
 
 func (st *ChipsetStage) Register(r *obs.Registry, p string) { st.mmu.Register(r, p) }
 
@@ -201,13 +213,35 @@ func (st *ChipsetStage) HandleEvent(e *sim.Engine, now sim.Time, payload uint64)
 		done, ctx := w.done, w.ctx
 		st.release(idx)
 		done.Complete(e, now, ctx)
+	case ckRetry:
+		st.runWalk(e, idx)
 	}
 }
 
 // RunWalk runs the translation once the pool grants a walker.
 func (st *ChipsetStage) RunWalk(e *sim.Engine, payload uint64) {
-	idx := uint32(payload)
+	st.runWalk(e, uint32(payload))
+}
+
+// runWalk is one walk attempt for the record at idx: the walker is held;
+// a faulted attempt backs off (keeping the walker — the walk context is
+// pinned in hardware while the host services the fault) and re-attempts
+// via ckRetry; a clean attempt performs the translation.
+func (st *ChipsetStage) runWalk(e *sim.Engine, idx uint32) {
 	w := &st.walks[idx]
+	if st.faults != nil {
+		if retryIn, faulted := st.faults.WalkAttempt(e.Now(), w.rq.SID, int(w.attempt)); faulted {
+			w.attempt++
+			if st.tracer != nil {
+				st.tracer.Emit(obs.Event{T: int64(e.Now()), Ev: "fault_retry",
+					SID: uint16(w.rq.SID), IOVA: obs.Hex(w.rq.IOVA), Shift: w.rq.Shift,
+					N: int(w.attempt), DurPs: int64(retryIn)})
+			}
+			e.ScheduleEvent(retryIn, st, ckRetry<<32|uint64(idx))
+			return
+		}
+		st.faults.OnWalk(e.Now(), w.rq.SID, w.rq.IOVA, w.rq.Shift)
+	}
 	res, err := st.mmu.Translate(w.rq.SID, w.rq.IOVA, w.rq.Shift, true)
 	if err != nil {
 		panic(fmt.Sprintf("pipeline: translate SID %d iova %#x: %v", w.rq.SID, w.rq.IOVA, err))

@@ -310,13 +310,20 @@ func (c *Cache) InvalidateSID(sid uint16) int {
 	return n
 }
 
-// Flush empties the cache, keeping statistics.
-func (c *Cache) Flush() {
+// Flush empties the cache (a broadcast invalidation), counting the
+// dropped entries as invalidates and returning how many there were.
+func (c *Cache) Flush() int {
+	n := 0
 	for si := range c.sets {
 		for wi := range c.sets[si] {
+			if c.sets[si][wi].valid {
+				n++
+			}
 			c.sets[si][wi] = slot{}
 		}
 	}
+	c.invalidates.Add(uint64(n))
+	return n
 }
 
 // Len reports the number of valid entries.

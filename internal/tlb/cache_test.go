@@ -301,9 +301,17 @@ func TestFlushAndLen(t *testing.T) {
 	if c.Len() != 2 {
 		t.Fatalf("Len = %d, want 2", c.Len())
 	}
-	c.Flush()
+	if n := c.Flush(); n != 2 {
+		t.Fatalf("Flush dropped %d entries, want 2", n)
+	}
 	if c.Len() != 0 {
 		t.Fatalf("Len after flush = %d", c.Len())
+	}
+	if got := c.Stats().Invalidates; got != 2 {
+		t.Fatalf("invalidates stat = %d, want 2 (flush counts its drops)", got)
+	}
+	if n := c.Flush(); n != 0 {
+		t.Fatalf("Flush of an empty cache dropped %d entries", n)
 	}
 }
 

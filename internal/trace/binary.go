@@ -202,8 +202,13 @@ func Read(r io.Reader) (*Trace, error) {
 	if npkts > maxReasonable || nstats > maxReasonable {
 		return nil, fmt.Errorf("trace: implausible counts (%d packets, %d stats)", npkts, nstats)
 	}
-	t.Stats = make([]TenantStat, nstats)
-	for i := range t.Stats {
+	// Grow the slices as records actually arrive instead of trusting the
+	// declared counts: a corrupt or hostile header can claim 2^31 records
+	// while the body holds none, and a single up-front make() of that size
+	// would allocate gigabytes before the first read error surfaces.
+	const initialCap = 4096
+	t.Stats = make([]TenantStat, 0, min(nstats, initialCap))
+	for i := uint64(0); i < nstats; i++ {
 		sid, err := binary.ReadUvarint(br)
 		if err != nil {
 			return nil, err
@@ -220,10 +225,10 @@ func Read(r io.Reader) (*Trace, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.Stats[i] = TenantStat{SID: mem.SID(sid), Budget: int(budget), Consumed: int(consumed), Packets: int(pkts)}
+		t.Stats = append(t.Stats, TenantStat{SID: mem.SID(sid), Budget: int(budget), Consumed: int(consumed), Packets: int(pkts)})
 	}
-	t.Packets = make([]workload.Packet, npkts)
-	for i := range t.Packets {
+	t.Packets = make([]workload.Packet, 0, min(npkts, initialCap))
+	for i := uint64(0); i < npkts; i++ {
 		sid, err := binary.ReadUvarint(br)
 		if err != nil {
 			return nil, err
@@ -255,7 +260,7 @@ func Read(r io.Reader) (*Trace, error) {
 			}
 			p.UnmapShift = shift
 		}
-		t.Packets[i] = p
+		t.Packets = append(t.Packets, p)
 	}
 	return t, nil
 }
