@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test golden race race-obs race-fault cover cover-check fuzz-smoke vet lint bench-quick bench-obs bench-smoke bench-json smoke ci clean
+.PHONY: all build test golden race race-obs race-fault race-shards cover cover-check fuzz-smoke vet lint bench-quick bench-obs bench-smoke bench-shards bench-json smoke ci clean
 
 all: build
 
@@ -72,8 +72,20 @@ lint: vet
 
 # Byte-identity gate: the quick experiment suite must reproduce the
 # committed sha256 manifest exactly (internal/experiments/testdata).
+# The pattern also matches TestQuickSuiteGoldenSharded, so one target
+# pins the serial engine and the sharded coordinator (shards 2 and 8)
+# to the same manifest.
 golden:
 	$(GO) test -run TestQuickSuiteGolden -count=1 ./internal/experiments
+
+# Sharded-execution race pass: the coordinator's domain goroutines,
+# SPSC rings and lookahead bookkeeping under the race detector — the
+# sim- and core-level determinism tests, then the full quick suite on
+# the parallel coordinator (shards=8) held to the golden manifest.
+race-shards:
+	$(GO) test -race -run 'TestParallel|TestLockstep|TestLookahead|TestSPSC' ./internal/sim
+	$(GO) test -race -run 'TestSharded' ./internal/core
+	$(GO) test -race -run 'TestQuickSuiteGoldenSharded/shards=8' -count=1 ./internal/experiments
 
 # One iteration of the serial-vs-parallel suite comparison.
 bench-quick:
@@ -89,8 +101,13 @@ bench-obs:
 bench-smoke:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
 
+# One iteration of the sharded end-to-end variants: serial baseline
+# against the two-domain run at every shard count.
+bench-shards:
+	$(GO) test -bench 'BenchmarkEndToEnd/shards' -benchtime 1x -run '^$$' .
+
 # Machine-readable performance snapshot (ns/op, allocs/op, pkts/s and
-# the quick-suite wall time) written to BENCH_PR4.json. Pass
+# the quick-suite wall time) written to BENCH_PR6.json. Pass
 # BENCH_BASELINE=<file> to embed deltas against a previous snapshot.
 bench-json:
 	$(GO) run ./cmd/benchjson $(if $(BENCH_BASELINE),-baseline $(BENCH_BASELINE))
@@ -99,7 +116,7 @@ bench-json:
 smoke:
 	$(GO) run ./cmd/experiments -quick -out results-smoke
 
-ci: build lint test golden race race-obs race-fault cover-check fuzz-smoke bench-smoke smoke
+ci: build lint test golden race race-obs race-fault race-shards cover-check fuzz-smoke bench-smoke bench-shards smoke
 
 clean:
 	rm -rf results-smoke cover.out

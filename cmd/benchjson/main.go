@@ -8,7 +8,7 @@
 // Comparing two snapshots is the intended workflow:
 //
 //	go run ./cmd/benchjson -o /tmp/before.json          # on the old tree
-//	go run ./cmd/benchjson -o BENCH_PR4.json \
+//	go run ./cmd/benchjson -o BENCH_PR6.json \
 //	    -baseline /tmp/before.json                      # on the new tree
 //
 // With -baseline the snapshot embeds per-benchmark ratios (speedup and
@@ -51,7 +51,14 @@ type Snapshot struct {
 
 // Benchmark is one parsed `go test -bench` result line.
 type Benchmark struct {
-	Name        string             `json:"name"` // GOMAXPROCS suffix stripped
+	Name string `json:"name"` // GOMAXPROCS suffix stripped
+	// GOMAXPROCS is the per-benchmark processor count parsed from the
+	// harness's -N name suffix (1 when the harness omits it). The
+	// top-level snapshot field is the process-wide setting; recording it
+	// per benchmark keeps lines self-describing when -cpu sweeps mix
+	// counts in one run — a scaling number is meaningless without the
+	// processor count it was measured at.
+	GOMAXPROCS  int                `json:"gomaxprocs"`
 	Iterations  int64              `json:"iterations"`
 	NsPerOp     float64            `json:"ns_per_op"`
 	BytesPerOp  float64            `json:"bytes_per_op"`
@@ -85,7 +92,7 @@ type Delta struct {
 
 func main() {
 	var (
-		out       = flag.String("o", "BENCH_PR4.json", "output path for the JSON snapshot")
+		out       = flag.String("o", "BENCH_PR6.json", "output path for the JSON snapshot")
 		benchRE   = flag.String("bench", defaultBench, "benchmark selection regexp passed to go test")
 		benchTime = flag.String("benchtime", "2s", "per-benchmark time passed to go test")
 		baseline  = flag.String("baseline", "", "previous snapshot to embed deltas against")
@@ -171,8 +178,17 @@ func parseBenchOutput(r *bytes.Buffer) ([]Benchmark, error) {
 		if err != nil {
 			continue
 		}
+		name := strings.TrimPrefix(fields[0], "Benchmark")
+		procs := 1
+		if m := gomaxprocsSuffix.FindString(name); m != "" {
+			if n, err := strconv.Atoi(m[1:]); err == nil {
+				procs = n
+			}
+			name = strings.TrimSuffix(name, m)
+		}
 		b := Benchmark{
-			Name:       gomaxprocsSuffix.ReplaceAllString(strings.TrimPrefix(fields[0], "Benchmark"), ""),
+			Name:       name,
+			GOMAXPROCS: procs,
 			Iterations: iters,
 			Metrics:    map[string]float64{},
 		}

@@ -82,6 +82,7 @@ func TestRunErrors(t *testing.T) {
 		{"negative devtlb", func(o *options) { o.devtlbSize = -8 }},
 		{"indivisible devtlb", func(o *options) { o.devtlbSize = 100 }},
 		{"negative sample interval", func(o *options) { o.sampleUs = -1 }},
+		{"negative shards", func(o *options) { o.shards = -2 }},
 		{"engine trace without trace file", func(o *options) { o.engineEvents = true }},
 		{"missing replay file", func(o *options) { o.replayFile = "/nonexistent.hsio" }},
 	}
@@ -90,6 +91,34 @@ func TestRunErrors(t *testing.T) {
 		c.mut(&o)
 		if err := run(o, io.Discard); err == nil {
 			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+// TestRunShardedMatchesSerial pins the user-visible contract of -shards:
+// apart from the one extra line announcing the execution mode, a sharded
+// run's report is byte-identical to the serial run's.
+func TestRunShardedMatchesSerial(t *testing.T) {
+	var serial strings.Builder
+	if err := run(base(), &serial); err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{2, 8} {
+		o := base()
+		o.shards = shards
+		var sharded strings.Builder
+		if err := run(o, &sharded); err != nil {
+			t.Fatal(err)
+		}
+		got := sharded.String()
+		i := strings.Index(got, "sharded execution:")
+		if i < 0 {
+			t.Fatalf("shards=%d: report does not announce the execution mode:\n%s", shards, got)
+		}
+		j := strings.IndexByte(got[i:], '\n')
+		got = got[:i] + got[i+j+1:]
+		if got != serial.String() {
+			t.Errorf("shards=%d report diverged from serial:\n got %q\nwant %q", shards, got, serial.String())
 		}
 	}
 }

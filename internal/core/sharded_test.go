@@ -1,0 +1,240 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"hypertrio/internal/fault"
+	"hypertrio/internal/sim"
+	"hypertrio/internal/trace"
+	"hypertrio/internal/workload"
+)
+
+// stripUnmaps copies the trace with every driver unmap removed. Unmaps
+// are an instantaneous device↔chipset coupling, so a trace without them
+// (and a config without prefetch/faults/obs) is what makes a sharded run
+// eligible for true parallel execution.
+func stripUnmaps(tr *trace.Trace) *trace.Trace {
+	cp := *tr
+	cp.Packets = make([]workload.Packet, len(tr.Packets))
+	copy(cp.Packets, tr.Packets)
+	for i := range cp.Packets {
+		cp.Packets[i].UnmapIOVA, cp.Packets[i].UnmapShift = 0, 0
+	}
+	return &cp
+}
+
+// TestShardedMatchesSerial is the tentpole's non-negotiable: for every
+// shard count the sharded run's Result is deep-equal to the serial run,
+// across lockstep-forcing configurations (unmaps in the trace,
+// prefetching) and parallel-eligible ones (stripped traces, native
+// path, capped walkers exercising the queue at the domain boundary).
+func TestShardedMatchesSerial(t *testing.T) {
+	raw := makeTrace(t, workload.Iperf3, 4, trace.RR1, 0.02)
+	stripped := stripUnmaps(raw)
+
+	walkerCapped := BaseConfig()
+	walkerCapped.IOMMUWalkers = 2
+
+	serialReqs := BaseConfig()
+	serialReqs.SerialRequests = true
+
+	native := BaseConfig()
+	native.TranslationOff = true
+
+	cases := []struct {
+		name     string
+		cfg      Config
+		tr       *trace.Trace
+		parallel bool // mode Seal must choose at shards >= 2
+	}{
+		{"base-unmaps-lockstep", BaseConfig(), raw, false},
+		{"hypertrio-prefetch-lockstep", HyperTRIOConfig(), raw, false},
+		{"base-parallel", BaseConfig(), stripped, true},
+		{"walker-capped-parallel", walkerCapped, stripped, true},
+		{"serial-requests-parallel", serialReqs, stripped, true},
+		{"native-parallel", native, raw, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			want := run(t, tc.cfg, tc.tr)
+			for _, shards := range []int{2, 8} {
+				cfg := tc.cfg
+				cfg.Shards = shards
+				s, err := NewSystem(cfg, tc.tr)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if s.sharded == nil {
+					t.Fatalf("shards=%d built no sharded coordinator", shards)
+				}
+				if s.sharded.Parallel() != tc.parallel {
+					t.Fatalf("shards=%d parallel=%v, want %v", shards, s.sharded.Parallel(), tc.parallel)
+				}
+				// Exercise the goroutine-per-domain execution even on a
+				// single-P test runner (no-op for lockstep topologies).
+				s.sharded.ForceThreads()
+				got, err := s.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("shards=%d diverged from serial:\n got  %+v\n want %+v", shards, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestShardedParallelRepeatable runs the goroutine-per-domain mode
+// several times: scheduling nondeterminism must never reach the Result.
+func TestShardedParallelRepeatable(t *testing.T) {
+	tr := stripUnmaps(makeTrace(t, workload.Iperf3, 4, trace.RR1, 0.02))
+	cfg := BaseConfig()
+	cfg.Shards = 2
+	threaded := func() Result {
+		s, err := NewSystem(cfg, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.sharded.ForceThreads()
+		res, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	want := threaded()
+	for i := 0; i < 3; i++ {
+		if got := threaded(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("parallel run %d drifted:\n got  %+v\n want %+v", i, got, want)
+		}
+	}
+}
+
+// boundaryInstants returns timestamps that land exactly on cross-domain
+// handoffs of a sharded run: a link arrival slot, the instant a demand
+// miss is delivered into the IOMMU domain, and the instant its earliest
+// possible completion is delivered back — the timestamps where a
+// mis-ordered merge would fire a scripted fault on the wrong side of the
+// handoff.
+func boundaryInstants(cfg Config) []sim.Time {
+	dt := cfg.Params.Interarrival()
+	toIO := cfg.Params.TLBHit + cfg.Params.PCIeOneWay
+	walkMin := cfg.Params.DRAMLatency // at least one memory access
+	return []sim.Time{
+		sim.Time(dt),        // first arrival slot
+		sim.Time(dt + toIO), // first miss lands at the chipset
+		sim.Time(dt + toIO + walkMin + cfg.Params.PCIeOneWay), // earliest completion returns
+		sim.Time(5*dt + toIO), // a later miss, mid-stream
+	}
+}
+
+// TestShardedBoundaryInvalidation is the regression the fault-injector
+// interplay demands: a tenant-broadcast invalidation scripted to land
+// exactly on a domain-boundary timestamp must fire identically in the
+// serial and sharded executions — same Result, same injector accounting.
+func TestShardedBoundaryInvalidation(t *testing.T) {
+	tr := makeTrace(t, workload.Iperf3, 4, trace.RR1, 0.02)
+	for _, at := range boundaryInstants(BaseConfig()) {
+		plan := &fault.Plan{Events: []fault.Event{
+			{At: at, Kind: fault.InvalidateTenant, SID: 1},
+			{At: at, Kind: fault.FlushAll},
+		}}
+		cfg := BaseConfig()
+		cfg.Fault = plan
+		wantR, wantSt := runWithStats(t, cfg, tr)
+		if wantSt.Applied == 0 {
+			t.Fatalf("at=%v: plan did not fire in the serial run", at)
+		}
+		cfg.Shards = 2
+		gotR, gotSt := runWithStats(t, cfg, tr)
+		if !reflect.DeepEqual(gotR, wantR) {
+			t.Errorf("at=%v: sharded result diverged:\n got  %+v\n want %+v", at, gotR, wantR)
+		}
+		if gotSt != wantSt {
+			t.Errorf("at=%v: injector accounting diverged: %+v vs %+v", at, gotSt, wantSt)
+		}
+	}
+}
+
+// TestShardedRunUntilBoundary pins the RunUntil interplay: stepping a
+// sharded system to an exact boundary instant and then draining it must
+// fire the same number of events and produce the same Result as doing
+// the same to a serial system — the windowed execution path the fault
+// tests step through.
+func TestShardedRunUntilBoundary(t *testing.T) {
+	tr := makeTrace(t, workload.Iperf3, 4, trace.RR1, 0.02)
+	cfg := BaseConfig()
+	plan := &fault.Plan{Events: []fault.Event{
+		{At: boundaryInstants(cfg)[1], Kind: fault.InvalidateTenant, SID: 2},
+	}}
+	cfg.Fault = plan
+
+	serial, err := NewSystem(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shardedCfg := cfg
+	shardedCfg.Shards = 2
+	sharded, err := NewSystem(shardedCfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	serial.start()
+	sharded.start()
+	for _, at := range boundaryInstants(cfg) {
+		ns := serial.engine.RunUntil(at)
+		nh := sharded.sharded.RunUntil(at)
+		if ns != nh {
+			t.Fatalf("window ending %v fired %d serial vs %d sharded events", at, ns, nh)
+		}
+	}
+	serial.engine.Run()
+	for sharded.sharded.Step() {
+	}
+	if serial.engine.Fired() != sharded.sharded.Fired() {
+		t.Fatalf("total fired diverged: %d serial vs %d sharded",
+			serial.engine.Fired(), sharded.sharded.Fired())
+	}
+	if serial.cursor != len(tr.Packets) || sharded.cursor != len(tr.Packets) {
+		t.Fatalf("runs did not drain: serial %d, sharded %d of %d packets",
+			serial.cursor, sharded.cursor, len(tr.Packets))
+	}
+	a, b := serial.result(), sharded.result()
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("windowed executions diverged:\n serial  %+v\n sharded %+v", a, b)
+	}
+}
+
+// TestShardedWarmPathZeroAllocs extends the zero-alloc pin to sharded
+// mode: the merged single-threaded execution of a parallel-eligible
+// two-domain system (messages crossing rings, records pooled per domain)
+// allocates nothing per event once warm.
+func TestShardedWarmPathZeroAllocs(t *testing.T) {
+	tr := stripUnmaps(makeTrace(t, workload.Iperf3, 1, trace.RR1, 0.2))
+	cfg := BaseConfig()
+	cfg.Shards = 2
+	s, err := NewSystem(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.sharded.Parallel() {
+		t.Fatal("stripped single-tenant run should be parallel-eligible")
+	}
+	s.start()
+	for i := 0; i < 3000; i++ {
+		if !s.sharded.Step() {
+			t.Fatal("sharded engine drained during warm-up; trace too small for the test")
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 10; i++ {
+			s.sharded.Step()
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm sharded packet path allocated %v per 10 events, want 0", allocs)
+	}
+}

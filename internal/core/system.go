@@ -27,6 +27,17 @@ type System struct {
 	engine *sim.Engine
 	dt     sim.Duration // packet inter-arrival gap
 
+	// Sharded-run topology (all nil/zero for Shards <= 1). The IOMMU
+	// domain is deliberately domain 0: at equal timestamps the merged
+	// order fires chipset-side events before device-side ones, which is
+	// exactly the order a serial engine reaches by sequence numbers —
+	// a completion or walk-end was always scheduled at least one PCIe
+	// traversal (> one packet slot) before any device event tying with
+	// it could be scheduled.
+	sharded *sim.ShardedEngine
+	ioDom   *sim.Domain
+	devDom  *sim.Domain
+
 	host    *mem.Space
 	ctx     *mem.ContextTable
 	tenants map[mem.SID]*mem.NestedTable
@@ -100,11 +111,18 @@ func NewSystem(cfg Config, tr *trace.Trace) (*System, error) {
 	s := &System{
 		cfg:       cfg,
 		tr:        tr,
-		engine:    sim.NewEngine(),
 		dt:        cfg.Params.Interarrival(),
 		host:      mem.NewSpace("host", 0x1_0000_0000, 0),
 		ctx:       mem.NewContextTable(),
 		tenantLat: make([]tenantLatency, tr.Tenants+1),
+	}
+	if cfg.Shards >= 2 {
+		s.sharded = sim.NewSharded()
+		s.ioDom = s.sharded.AddDomain()
+		s.devDom = s.sharded.AddDomain()
+		s.engine = s.devDom.Engine()
+	} else {
+		s.engine = sim.NewEngine()
 	}
 	profile := tr.Profile
 	if err := profile.Validate(); err != nil {
@@ -142,6 +160,12 @@ func NewSystem(cfg Config, tr *trace.Trace) (*System, error) {
 		env.Tracer = o.Tracer
 		if o.EngineEvents && o.Tracer != nil {
 			s.engine.SetProbe(obs.EngineProbe{T: o.Tracer})
+			if s.sharded != nil {
+				// Observability forces lockstep, where both engines run
+				// on one thread drawing one sequence counter, so the two
+				// probes interleave into exactly the serial stream.
+				s.ioDom.Engine().SetProbe(obs.EngineProbe{T: o.Tracer})
+			}
 		}
 	}
 	if cfg.Fault != nil {
@@ -157,11 +181,50 @@ func NewSystem(cfg Config, tr *trace.Trace) (*System, error) {
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	s.chain = chain
+	if s.sharded != nil {
+		lookIO, lookDev := s.lookaheads()
+		toIO := s.sharded.Connect(s.devDom, s.ioDom, lookIO, 0)
+		toDev := s.sharded.Connect(s.ioDom, s.devDom, lookDev, 0)
+		s.chain.EnableSplit(toIO, toDev, s)
+		s.sharded.Seal()
+	}
 	if o := cfg.Obs; o != nil && o.SampleEvery > 0 {
 		s.sampler = newSampler(o.SampleEvery, &s.bytes, s.chain, cfg.IOMMUWalkers)
 	}
 	return s, nil
 }
+
+// lookaheads chooses the conservative synchronization windows of a
+// sharded run's two edges. The demand resolve path guarantees a minimum
+// latency in each direction — a miss reaches the chipset no sooner than
+// the DevTLB probe plus the PCIe traversal, and a completion returns no
+// sooner than one PCIe traversal — so a fault-free, observation-free,
+// prefetch-free run with no driver unmaps in the trace can execute the
+// domains in parallel. Everything else needs an instantaneous coupling
+// across the boundary (broadcast invalidations, the history reader's
+// device-side prefetch unit, the shared tracer/sampler, fault hooks on
+// both sides) and returns zero windows, which Seal turns into the
+// lockstep merge — still sharded, still byte-identical, one thread.
+func (s *System) lookaheads() (toIO, toDev sim.Duration) {
+	if s.cfg.TranslationOff {
+		// Native path: nothing ever crosses the boundary; any positive
+		// window lets the (empty) chipset domain stay out of the way.
+		return s.cfg.Params.PCIeOneWay, s.cfg.Params.PCIeOneWay
+	}
+	if s.cfg.Fault != nil || s.cfg.Obs != nil || s.cfg.Prefetch != nil {
+		return 0, 0
+	}
+	for _, p := range s.tr.Packets {
+		if p.UnmapIOVA != 0 {
+			return 0, 0
+		}
+	}
+	return s.cfg.Params.TLBHit + s.cfg.Params.PCIeOneWay, s.cfg.Params.PCIeOneWay
+}
+
+// Sharded returns the sharded coordinator (nil for Shards <= 1), for
+// white-box tests that step the merged execution manually.
+func (s *System) Sharded() *sim.ShardedEngine { return s.sharded }
 
 // Chain returns the composed translation datapath (for describe output
 // and tests; the simulation drives it internally).
@@ -245,7 +308,11 @@ func (s *System) Run() (Result, error) {
 		return Result{}, fmt.Errorf("core: System.Run called twice")
 	}
 	s.start()
-	s.engine.Run()
+	if s.sharded != nil {
+		s.sharded.Run()
+	} else {
+		s.engine.Run()
+	}
 	if s.cursor != len(s.tr.Packets) {
 		return Result{}, fmt.Errorf("core: simulation drained with %d of %d packets unprocessed",
 			len(s.tr.Packets)-s.cursor, len(s.tr.Packets))

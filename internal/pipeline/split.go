@@ -1,0 +1,100 @@
+package pipeline
+
+import (
+	"hypertrio/internal/mem"
+	"hypertrio/internal/sim"
+)
+
+// This file splits a chain at the device ↔ IOMMU boundary for sharded
+// runs: the chipset stage moves to its own event domain, demand misses
+// travel to it as cross-domain messages, and resolved translations
+// return the same way. The split covers exactly the paths that can run
+// in parallel mode — the demand resolve round trip. Everything else
+// (prefetch, fault retries, driver unmaps, sampling) forces the sharded
+// coordinator into lockstep, where all engines share one thread and one
+// sequence counter, so those paths keep their direct synchronous calls
+// and remain byte-identical to serial by construction.
+
+// Cross-domain message kinds for a split chain.
+const (
+	xResolve  uint8 = iota // device → chipset: demand miss crossing PCIe
+	xComplete              // chipset → device: resolved translation returning
+)
+
+// packRq packs a request's (SID, shift) into one message word; the IOVA
+// travels in its own word.
+func packRq(rq Request) uint64 { return uint64(rq.SID)<<8 | uint64(rq.Shift) }
+
+func unpackRq(iova, ss uint64) Request {
+	return Request{SID: mem.SID(ss >> 8), IOVA: iova, Shift: uint8(ss)}
+}
+
+// chainSplit is the wiring of a split chain: the two directed ports and
+// the inbox sinks at each end.
+type chainSplit struct {
+	toIO  *sim.Port // device domain → IOMMU domain
+	toDev *sim.Port // IOMMU domain → device domain
+	io    *ioInbox
+	dev   *devInbox
+}
+
+// ioInbox receives device→IOMMU messages in the chipset's domain.
+type ioInbox struct {
+	cs *ChipsetStage
+}
+
+func (in *ioInbox) HandleEvent(e *sim.Engine, now sim.Time, payload uint64) {
+	m := e.ClaimMsg(payload)
+	switch m.Kind {
+	case xResolve:
+		// The PCIe trip is done: materialize the in-flight walk record
+		// on this side of the boundary and claim a walker — the same
+		// point serial execution reaches via ckArrive.
+		idx := in.cs.alloc()
+		w := &in.cs.walks[idx]
+		w.rq, w.ctx = unpackRq(m.P0, m.P1), m.P2
+		in.cs.pool.Acquire(e, in.cs, uint64(idx))
+	}
+}
+
+// devInbox receives IOMMU→device messages in the device's domain.
+type devInbox struct {
+	fills []Stage
+	done  Completer
+}
+
+func (in *devInbox) HandleEvent(e *sim.Engine, now sim.Time, payload uint64) {
+	m := e.ClaimMsg(payload)
+	switch m.Kind {
+	case xComplete:
+		// The return PCIe trip is done: refill the device-side stages
+		// and complete the packet, exactly as serial ckComplete does.
+		// The message carries the whole result by value — the chipset's
+		// walk record was already recycled in its own domain.
+		rq := unpackRq(m.P0, m.P1)
+		for _, f := range in.fills {
+			f.Fill(rq, m.P2)
+		}
+		in.done.Complete(e, now, m.P3)
+	}
+}
+
+// EnableSplit moves the chain's resolve path across a domain boundary:
+// demand misses travel to the chipset over toIOMMU (lookahead = TLB hit
+// + PCIe one-way, the delay Resolve always charges) and resolved
+// translations return over toDevice (lookahead = PCIe one-way). done
+// must be the completer every Resolve call passes — with the resolver in
+// another domain the completion callback crosses as a message, so it is
+// bound once here instead of traveling with each request.
+//
+// A chain without a chipset stage (the native path) has no resolver to
+// move and ignores the call.
+func (c *Chain) EnableSplit(toIOMMU, toDevice *sim.Port, done Completer) {
+	if c.chipset == nil {
+		return
+	}
+	sp := &chainSplit{toIO: toIOMMU, toDev: toDevice}
+	sp.io = &ioInbox{cs: c.chipset}
+	sp.dev = &devInbox{fills: c.chipset.fills, done: done}
+	c.chipset.split = sp
+}

@@ -43,6 +43,7 @@ type eventRec struct {
 	label   string
 	gen     uint32
 	state   uint8
+	dom     uint8 // owning domain; 0 for serial and lockstep engines
 }
 
 // EventID identifies a scheduled event so it can be cancelled. The zero
@@ -81,13 +82,29 @@ type Probe interface {
 type Engine struct {
 	now     Time
 	slab    []eventRec
-	heap    []uint32 // slab indices ordered by (at, seq)
+	heap    []uint32 // slab indices ordered by (at, dom, seq)
 	free    []uint32 // recycled slab indices
 	live    int      // queued, not-cancelled events
 	nextSeq uint64
 	fired   uint64
 	stopped bool
 	probe   Probe
+
+	// Sharding state (see ShardedEngine). A serial engine keeps the zero
+	// domain and its own sequence counter, making the comparator
+	// (at, dom, seq) degenerate to the historical (at, seq) order.
+	dom  uint8
+	seqp *uint64 // shared sequence counter; nil means &e.nextSeq
+
+	// Parked cross-domain messages, indexed by the payload word of the
+	// event Deliver schedules; recycled through a free list like the
+	// event slab so steady-state handoff allocates nothing.
+	msgs    []Msg
+	msgFree []uint32
+
+	// deliveries counts Deliver calls; the lockstep merge loop uses it to
+	// notice that a fired event lowered this engine's head mid-batch.
+	deliveries uint64
 }
 
 // NewEngine returns an engine with the clock at time zero.
@@ -115,6 +132,72 @@ func (e *Engine) Stopped() bool { return e.stopped }
 // SetProbe attaches an observability probe (nil detaches). The probe
 // sees events from the next operation onward.
 func (e *Engine) SetProbe(p Probe) { e.probe = p }
+
+// SetDomain tags every event this engine subsequently schedules with the
+// domain ID d. ShardedEngine uses it in parallel mode so the
+// (at, dom, seq) comparator totally orders events across domains even
+// though each domain assigns sequence numbers independently. Serial
+// engines and lockstep topologies keep the zero domain.
+func (e *Engine) SetDomain(d uint8) { e.dom = d }
+
+// Domain returns the engine's domain tag.
+func (e *Engine) Domain() uint8 { return e.dom }
+
+// SetSharedSeq points the engine's sequence counter at an external
+// counter shared with other engines (the lockstep sharding mode), so
+// events scheduled across all of them draw from one global schedule
+// order — exactly the sequence a single serial engine would have
+// assigned. Passing nil restores the engine's own counter. Must be
+// called before any event is scheduled.
+func (e *Engine) SetSharedSeq(p *uint64) { e.seqp = p }
+
+// takeSeq consumes the next sequence number from the engine's counter
+// (its own, or the shared lockstep counter).
+func (e *Engine) takeSeq() uint64 {
+	p := e.seqp
+	if p == nil {
+		p = &e.nextSeq
+	}
+	s := *p
+	*p++
+	return s
+}
+
+// Stamp is an event's global ordering key. Events fire in lexicographic
+// (At, Dom, Seq) order; for serial engines Dom is always zero and the
+// order is the historical (At, Seq).
+type Stamp struct {
+	At  Time
+	Dom uint8
+	Seq uint64
+}
+
+// Less reports whether s orders strictly before o.
+func (s Stamp) Less(o Stamp) bool {
+	if s.At != o.At {
+		return s.At < o.At
+	}
+	if s.Dom != o.Dom {
+		return s.Dom < o.Dom
+	}
+	return s.Seq < o.Seq
+}
+
+// PeekStamp returns the ordering stamp of the earliest pending event
+// without firing it, discarding any cancelled records at the head. The
+// second result is false when the queue is empty.
+func (e *Engine) PeekStamp() (Stamp, bool) {
+	e.pruneCancelled()
+	if len(e.heap) == 0 {
+		return Stamp{}, false
+	}
+	r := &e.slab[e.heap[0]]
+	return Stamp{At: r.at, Dom: r.dom, Seq: r.seq}, true
+}
+
+// Deliveries counts how many cross-domain messages have been delivered
+// into this engine (see Deliver).
+func (e *Engine) Deliveries() uint64 { return e.deliveries }
 
 // ErrPastEvent is returned by ScheduleAt when the requested time is
 // before the current simulation time.
@@ -175,13 +258,13 @@ func (e *Engine) scheduleAt(at Time, fn Handler, sink EventSink, payload uint64,
 	}
 	rec := &e.slab[idx]
 	rec.at = at
-	rec.seq = e.nextSeq
+	rec.seq = e.takeSeq()
+	rec.dom = e.dom
 	rec.fn = fn
 	rec.sink = sink
 	rec.payload = payload
 	rec.label = label
 	rec.state = recQueued
-	e.nextSeq++
 	e.live++
 	e.heapPush(idx)
 	if e.probe != nil {
@@ -320,9 +403,10 @@ func (e *Engine) pruneCancelled() {
 // A 4-ary heap halves the tree depth of the binary heap, trading a
 // slightly wider sift-down for far fewer cache-missing levels — the
 // classic d-ary layout for event queues where pushes outnumber
-// reorderings. Ordering is (at, seq); (at, seq) pairs are unique, so the
-// comparator is a total order and pop order is exactly the old
-// container/heap engine's firing order.
+// reorderings. Ordering is (at, dom, seq); the pairs are unique (a
+// domain never reuses a sequence number), so the comparator is a total
+// order. Serial engines keep dom == 0 everywhere, making pop order
+// exactly the old (at, seq) firing order.
 
 const heapArity = 4
 
@@ -330,6 +414,9 @@ func (e *Engine) heapLess(a, b uint32) bool {
 	ra, rb := &e.slab[a], &e.slab[b]
 	if ra.at != rb.at {
 		return ra.at < rb.at
+	}
+	if ra.dom != rb.dom {
+		return ra.dom < rb.dom
 	}
 	return ra.seq < rb.seq
 }

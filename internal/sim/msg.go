@@ -1,0 +1,77 @@
+package sim
+
+import "fmt"
+
+// Msg is one cross-domain message of a sharded simulation: a typed event
+// delivered into another domain's engine with an explicit, sender-assigned
+// ordering stamp. The payload is four plain words — no pointers beyond
+// the destination sink — so a message can cross a domain boundary by
+// value, without sharing mutable state between domains.
+//
+// The receiving sink's HandleEvent gets the index of the parked message
+// as its payload word and reclaims it with Engine.ClaimMsg.
+type Msg struct {
+	Stamp
+	Sink           EventSink
+	Kind           uint8
+	P0, P1, P2, P3 uint64
+}
+
+// Deliver inserts a cross-domain message into the engine's queue,
+// preserving the stamp the sender assigned: the event fires at m.At and
+// ties at equal timestamps break by (Dom, Seq), so the firing order is
+// independent of when the message was physically handed over. Delivering
+// into the engine's past panics — it means the sender violated its
+// edge's lookahead contract.
+//
+// The wide message is parked in a pooled slab; the scheduled event
+// carries the slab index as its payload, and the sink must reclaim it
+// with ClaimMsg. Steady-state delivery allocates nothing.
+func (e *Engine) Deliver(m Msg) {
+	if m.At < e.now {
+		panic(fmt.Sprintf("sim: message delivered into the past: at=%v now=%v (lookahead violated)", m.At, e.now))
+	}
+	var midx uint32
+	if n := len(e.msgFree); n > 0 {
+		midx = e.msgFree[n-1]
+		e.msgFree = e.msgFree[:n-1]
+	} else {
+		e.msgs = append(e.msgs, Msg{})
+		midx = uint32(len(e.msgs) - 1)
+	}
+	e.msgs[midx] = m
+
+	var idx uint32
+	if n := len(e.free); n > 0 {
+		idx = e.free[n-1]
+		e.free = e.free[:n-1]
+	} else {
+		e.slab = append(e.slab, eventRec{})
+		idx = uint32(len(e.slab) - 1)
+	}
+	rec := &e.slab[idx]
+	rec.at = m.At
+	rec.seq = m.Seq
+	rec.dom = m.Dom
+	rec.fn = nil
+	rec.sink = m.Sink
+	rec.payload = uint64(midx)
+	rec.label = ""
+	rec.state = recQueued
+	e.live++
+	e.deliveries++
+	e.heapPush(idx)
+	if e.probe != nil {
+		e.probe.OnSchedule(m.At, m.Seq, "")
+	}
+}
+
+// ClaimMsg reclaims a parked cross-domain message by the payload word a
+// delivered event carried, returning it by value and recycling the slot.
+func (e *Engine) ClaimMsg(payload uint64) Msg {
+	idx := uint32(payload)
+	m := e.msgs[idx]
+	e.msgs[idx] = Msg{} // drop the sink reference
+	e.msgFree = append(e.msgFree, idx)
+	return m
+}

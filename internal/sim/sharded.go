@@ -1,0 +1,598 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// maxTime is the frontier value of a domain with nothing pending: it
+// constrains no neighbour.
+const maxTime = Time(1<<63 - 1)
+
+// ShardedEngine splits one simulation across event domains, each owning
+// a private Engine clock, synchronized by conservative lookahead: every
+// directed edge between domains declares the minimum latency any message
+// sent over it carries, and a domain may fire events strictly earlier
+// than min over its in-edges of (sender frontier + edge lookahead).
+// Messages cross domains through bounded SPSC rings carrying
+// (timestamp, payload) stamps and are re-scheduled into the destination
+// domain's slab engine by Deliver.
+//
+// The coordinator has two execution modes, chosen at Seal time:
+//
+//   - Lockstep, when any edge declares a zero lookahead (an instantaneous
+//     coupling, e.g. a driver unmap invalidating both device and chipset
+//     state in the same instant). All engines share one global sequence
+//     counter and the zero domain tag, and Run is a single-threaded merge
+//     that always fires the globally earliest (at, dom, seq) event. Every
+//     event carries exactly the stamp a serial engine would have assigned,
+//     so a lockstep run is byte-identical to serial by construction.
+//
+//   - Parallel, when every edge has positive lookahead. Each domain runs
+//     on its own goroutine, stamps events with its own domain ID and
+//     sequence counter, and advances while it holds the lookahead bound.
+//     Each engine still fires its events in the global (at, dom, seq)
+//     order restricted to that engine (messages always arrive before the
+//     receiver passes their timestamp), so per-domain state trajectories
+//     are deterministic and identical to a single-threaded Step merge.
+//
+// Step provides that single-threaded merge in both modes — the reference
+// execution tests and allocation-sensitive callers use.
+type ShardedEngine struct {
+	domains []*Domain
+	edges   []*edge
+	sealed  bool
+	par     bool
+
+	// forceThreads makes Run use the goroutine-per-domain execution even
+	// when GOMAXPROCS gives it nothing to run on (see Run).
+	forceThreads bool
+
+	sharedSeq uint64 // lockstep: the one global schedule order
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	done bool
+}
+
+// Domain is one shard: an engine plus its cross-domain edges.
+type Domain struct {
+	se  *ShardedEngine
+	id  uint8
+	eng *Engine
+	in  []*edge
+	out []*edge
+
+	// frontier is a lower bound (maintained under se.mu) on the timestamp
+	// of every event in the domain's local queue — the engine head, or
+	// the batch's first event while the domain fires unlocked (sends made
+	// mid-batch are invisible to neighbours until the flush, so the
+	// frontier must keep covering them). ef closes frontiers transitively
+	// over in-edges plus the in-flight ring/out-buffer messages — a lower
+	// bound on every event the domain will EVER fire, including reactions
+	// to messages it has not received yet — and is what neighbours
+	// advance against.
+	frontier Time
+	ef       Time
+	firing   bool
+}
+
+// edge is one directed cross-domain link: the declared lookahead plus
+// the bounded SPSC ring parallel mode hands messages through.
+type edge struct {
+	from, to *Domain
+	look     Duration
+
+	// Ring state (guarded by se.mu; pushed by from, drained by to).
+	buf   []Msg
+	head  int
+	count int
+	minAt Time // min At over buffered messages; maxTime when empty
+
+	// outbuf collects messages sent while from fires unlocked; flushed
+	// into the ring under se.mu at batch end. outMin (guarded by se.mu)
+	// is the min At over outbuf messages the flush has made visible but
+	// not yet pushed — while the sender blocks on a full ring, these
+	// still lower-bound the destination's future fires and must stay in
+	// the effective-frontier closure. maxTime otherwise.
+	outbuf []Msg
+	outMin Time
+}
+
+// NewSharded returns an empty coordinator. Add domains, connect them,
+// then Seal before scheduling any events.
+func NewSharded() *ShardedEngine {
+	se := &ShardedEngine{}
+	se.cond = sync.NewCond(&se.mu)
+	return se
+}
+
+// AddDomain creates a new domain with a fresh engine. Domain IDs are
+// assigned in creation order, which is also the tie-break order for
+// simultaneous events in parallel mode.
+func (se *ShardedEngine) AddDomain() *Domain {
+	if se.sealed {
+		panic("sim: AddDomain after Seal")
+	}
+	if len(se.domains) == 255 {
+		panic("sim: too many domains")
+	}
+	d := &Domain{se: se, id: uint8(len(se.domains)), eng: NewEngine(), frontier: maxTime}
+	se.domains = append(se.domains, d)
+	return d
+}
+
+// Engine returns the domain's private engine. Model components of this
+// domain schedule their intra-domain events against it directly.
+func (d *Domain) Engine() *Engine { return d.eng }
+
+// ID returns the domain's tie-break ID.
+func (d *Domain) ID() uint8 { return d.id }
+
+// Connect declares a directed edge: messages from one domain to another,
+// carrying at least lookahead of latency each, through a ring of at most
+// cap buffered messages. A zero (or negative) lookahead is legal and
+// forces the whole topology into lockstep mode at Seal. cap <= 0 gets a
+// default ring.
+func (se *ShardedEngine) Connect(from, to *Domain, lookahead Duration, cap int) *Port {
+	if se.sealed {
+		panic("sim: Connect after Seal")
+	}
+	if from == to {
+		panic("sim: self-edge")
+	}
+	if cap <= 0 {
+		cap = 256
+	}
+	e := &edge{from: from, to: to, look: lookahead, buf: make([]Msg, cap), minAt: maxTime, outMin: maxTime}
+	se.edges = append(se.edges, e)
+	from.out = append(from.out, e)
+	to.in = append(to.in, e)
+	return &Port{e: e}
+}
+
+// Parallel reports whether Seal chose the parallel mode (every edge has
+// positive lookahead) over lockstep.
+func (se *ShardedEngine) Parallel() bool { return se.par }
+
+// Seal fixes the topology and chooses the execution mode. In lockstep
+// every engine draws from one shared sequence counter with the zero
+// domain tag (stamps identical to a serial engine's); in parallel every
+// engine stamps its own domain ID and counts sequence numbers privately.
+// Must run before any event is scheduled.
+func (se *ShardedEngine) Seal() {
+	if se.sealed {
+		panic("sim: Seal called twice")
+	}
+	se.sealed = true
+	se.par = true
+	for _, e := range se.edges {
+		if e.look <= 0 {
+			se.par = false
+			break
+		}
+	}
+	for _, d := range se.domains {
+		if se.par {
+			d.eng.SetDomain(d.id)
+		} else {
+			d.eng.SetSharedSeq(&se.sharedSeq)
+		}
+	}
+}
+
+// Fired sums the events executed across all domains.
+func (se *ShardedEngine) Fired() uint64 {
+	var n uint64
+	for _, d := range se.domains {
+		n += d.eng.Fired()
+	}
+	return n
+}
+
+// Port is the sending end of an edge, used by model components to hand
+// an event to the neighbouring domain.
+type Port struct {
+	e *edge
+}
+
+// Send queues a cross-domain message: sink.HandleEvent fires in the
+// destination domain after delay, carrying kind and the payload words
+// (reclaim with Engine.ClaimMsg). A delay below the edge's declared
+// lookahead panics — it would break the conservative synchronization
+// contract neighbours advance under.
+//
+// The message is stamped at send time: in lockstep it consumes the
+// shared sequence counter exactly where a serial engine's ScheduleEvent
+// would have, and is delivered synchronously; in parallel it carries the
+// sender's (domain, sequence) stamp and is buffered until the sender's
+// current batch flushes.
+func (p *Port) Send(sink EventSink, delay Duration, kind uint8, p0, p1, p2, p3 uint64) {
+	e := p.e
+	if delay < e.look {
+		panic(fmt.Sprintf("sim: cross-domain send delay %v below edge lookahead %v", delay, e.look))
+	}
+	src := e.from.eng
+	m := Msg{
+		Stamp: Stamp{At: src.Now().Add(delay), Dom: src.dom, Seq: src.takeSeq()},
+		Sink:  sink, Kind: kind, P0: p0, P1: p1, P2: p2, P3: p3,
+	}
+	if !e.from.se.par {
+		// Lockstep runs single-threaded: deliver synchronously so the
+		// merged heads always see every pending event.
+		e.to.eng.Deliver(m)
+		return
+	}
+	e.outbuf = append(e.outbuf, m)
+}
+
+// Step fires the single globally-earliest pending event — the
+// single-threaded reference execution, valid in both modes. It returns
+// false when every domain has drained. Cross-domain sends made by the
+// fired event are delivered before Step returns, so repeated Step calls
+// observe a totally ordered (at, dom, seq) execution.
+func (se *ShardedEngine) Step() bool {
+	if !se.sealed {
+		panic("sim: Step before Seal")
+	}
+	var best *Domain
+	var bs Stamp
+	for _, d := range se.domains {
+		if st, ok := d.eng.PeekStamp(); ok && (best == nil || st.Less(bs)) {
+			best, bs = d, st
+		}
+	}
+	if best == nil {
+		return false
+	}
+	best.eng.Step()
+	if se.par {
+		// Parallel stamping buffers sends; flush them inline so the
+		// single-threaded execution stays self-contained.
+		best.flushInline()
+	}
+	return true
+}
+
+// flushInline delivers buffered sends synchronously — the single-threaded
+// executions (Step, RunUntil) use it in place of the ring handoff.
+func (d *Domain) flushInline() {
+	for _, e := range d.out {
+		for i := range e.outbuf {
+			e.to.eng.Deliver(e.outbuf[i])
+		}
+		e.outbuf = e.outbuf[:0]
+	}
+}
+
+// RunUntil fires every event with a timestamp at or before deadline, in
+// the merged (at, dom, seq) order, then advances every domain clock
+// exactly to the deadline — the sharded counterpart of Engine.RunUntil's
+// window-tiling contract, so white-box tests can step a sharded run to a
+// precise boundary instant in either mode. Single-threaded; returns the
+// number of events fired.
+func (se *ShardedEngine) RunUntil(deadline Time) uint64 {
+	if !se.sealed {
+		panic("sim: RunUntil before Seal")
+	}
+	start := se.Fired()
+	for {
+		var best *Domain
+		var bs Stamp
+		for _, d := range se.domains {
+			if st, ok := d.eng.PeekStamp(); ok && st.At <= deadline && (best == nil || st.Less(bs)) {
+				best, bs = d, st
+			}
+		}
+		if best == nil {
+			break
+		}
+		best.eng.Step()
+		if se.par {
+			best.flushInline()
+		}
+	}
+	for _, d := range se.domains {
+		// Nothing at or before the deadline remains anywhere, so this
+		// only lands each clock on the window edge.
+		d.eng.RunUntil(deadline)
+	}
+	return se.Fired() - start
+}
+
+// ForceThreads makes Run always use the goroutine-per-domain execution
+// in parallel mode, bypassing the single-P merged fallback. Tests that
+// must exercise the concurrent coordinator (determinism under -race,
+// backpressure interleavings) call it; production callers never need to.
+func (se *ShardedEngine) ForceThreads() { se.forceThreads = true }
+
+// Run executes the sharded simulation until every domain drains: a
+// single-threaded merge in lockstep mode, one goroutine per domain under
+// conservative lookahead in parallel mode.
+//
+// With a single P (GOMAXPROCS=1) the goroutines could only time-slice
+// over one core, paying two futex handoffs per lookahead window for no
+// overlap — so Run falls back to the merged single-threaded execution,
+// which fires the identical (at, dom, seq) order with zero coordination
+// cost. The mode (Parallel()) is a property of the topology, not of the
+// processor count; only the execution strategy changes.
+func (se *ShardedEngine) Run() {
+	if !se.sealed {
+		panic("sim: Run before Seal")
+	}
+	if !se.par {
+		se.runMerged()
+		return
+	}
+	if !se.forceThreads && runtime.GOMAXPROCS(0) < 2 {
+		se.runMerged()
+		return
+	}
+	se.done = false
+	// Publish every domain's initial frontier before any goroutine can
+	// compute a bound: the AddDomain default (maxTime) would let an early
+	// starter treat still-unstarted neighbours as unconstraining and run
+	// arbitrarily far ahead of their first events.
+	se.mu.Lock()
+	for _, d := range se.domains {
+		d.updateFrontier()
+	}
+	se.mu.Unlock()
+	var wg sync.WaitGroup
+	for _, d := range se.domains {
+		wg.Add(1)
+		go func(d *Domain) {
+			defer wg.Done()
+			d.loop()
+		}(d)
+	}
+	wg.Wait()
+}
+
+// runMerged is the merged serial execution: always fire the globally
+// earliest (at, dom, seq) event. In lockstep the shared sequence counter
+// makes this replay exactly the event order of an unsharded engine; in
+// parallel mode it is the reference order the threaded execution must
+// (and does) reproduce. The two-domain loop re-peeks a head only when it
+// can have changed (its own engine stepped, or a delivery landed),
+// keeping the per-event overhead to one peek and one compare.
+func (se *ShardedEngine) runMerged() {
+	if len(se.domains) != 2 {
+		for se.Step() {
+		}
+		return
+	}
+	da, db := se.domains[0], se.domains[1]
+	a, b := da.eng, db.eng
+	sa, oka := a.PeekStamp()
+	sb, okb := b.PeekStamp()
+	for oka || okb {
+		if oka && (!okb || sa.Less(sb)) {
+			bd := b.deliveries
+			a.Step()
+			if se.par {
+				da.flushInline()
+			}
+			sa, oka = a.PeekStamp()
+			if b.deliveries != bd {
+				sb, okb = b.PeekStamp()
+			}
+		} else {
+			ad := a.deliveries
+			b.Step()
+			if se.par {
+				db.flushInline()
+			}
+			sb, okb = b.PeekStamp()
+			if a.deliveries != ad {
+				sa, oka = a.PeekStamp()
+			}
+		}
+	}
+}
+
+// --- parallel mode -----------------------------------------------------
+
+// recomputeEF closes the frontiers transitively: a domain's effective
+// frontier is the earliest event it could ever fire — locally pending,
+// sitting in an inbound ring or a blocked flush's out-buffer, or caused
+// by a chain of future messages: ef(d) = min(frontier(d), in-flight
+// messages addressed to d, min over in-edges (ef(from) + lookahead)).
+// Every cycle has positive total lookahead (parallel mode requires it),
+// so the relaxation reaches its fixpoint in at most |domains| passes.
+// Without this closure an idle domain would report an infinite frontier,
+// its neighbour would run arbitrarily far ahead, and a reply to the
+// neighbour's own messages would land in its past. Called with se.mu
+// held.
+func (se *ShardedEngine) recomputeEF() {
+	for _, d := range se.domains {
+		d.ef = d.frontier
+	}
+	for _, e := range se.edges {
+		if e.minAt < e.to.ef {
+			e.to.ef = e.minAt
+		}
+		if e.outMin < e.to.ef {
+			e.to.ef = e.outMin
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, e := range se.edges {
+			if e.from.ef == maxTime {
+				continue
+			}
+			if t := e.from.ef.Add(e.look); t < e.to.ef {
+				e.to.ef = t
+				changed = true
+			}
+		}
+	}
+}
+
+// bound computes how far the domain may advance: events strictly earlier
+// than min over in-edges of (sender effective frontier + lookahead) can
+// no longer be affected by any future message. Called with se.mu held.
+func (d *Domain) bound() Time {
+	d.se.recomputeEF()
+	b := maxTime
+	for _, e := range d.in {
+		if e.from.ef == maxTime {
+			continue
+		}
+		if t := e.from.ef.Add(e.look); t < b {
+			b = t
+		}
+	}
+	return b
+}
+
+// drain moves every ring message into the local engine, reporting
+// whether anything moved (freed ring space is state neighbours may be
+// blocked on). Called with se.mu held, only by the owning domain's
+// goroutine.
+func (d *Domain) drain() bool {
+	moved := false
+	for _, e := range d.in {
+		for e.count > 0 {
+			m := e.buf[e.head]
+			e.buf[e.head] = Msg{}
+			e.head = (e.head + 1) % len(e.buf)
+			e.count--
+			d.eng.Deliver(m)
+			moved = true
+		}
+		e.minAt = maxTime
+	}
+	return moved
+}
+
+// updateFrontier recomputes the domain's frontier from its engine head.
+// Incoming messages still sitting in rings or blocked out-buffers are
+// accounted separately (edge minAt/outMin, folded in by recomputeEF), so
+// no domain ever writes another domain's frontier. Must not run while
+// the domain fires a batch — the frontier stays frozen at the batch's
+// first event until the flush completes, because mid-batch sends are
+// invisible to neighbours until then. Called with se.mu held.
+func (d *Domain) updateFrontier() {
+	if st, ok := d.eng.PeekStamp(); ok {
+		d.frontier = st.At
+	} else {
+		d.frontier = maxTime
+	}
+}
+
+// flushOut pushes the batch's buffered sends into their rings,
+// backpressuring (and draining its own inboxes, to stay deadlock-free
+// under mutual pressure) when a ring is full. The domain's frontier
+// stays frozen throughout: unpushed messages are published via each
+// edge's outMin first, so even while this goroutine blocks mid-flush
+// the closure still sees every message the batch produced. Called with
+// se.mu held.
+func (d *Domain) flushOut() {
+	for _, e := range d.out {
+		for i := range e.outbuf {
+			if e.outbuf[i].At < e.outMin {
+				e.outMin = e.outbuf[i].At
+			}
+		}
+	}
+	for _, e := range d.out {
+		for i := range e.outbuf {
+			for e.count == len(e.buf) {
+				// Destination ring full: free our own senders while we
+				// wait, then let the consumer drain. Draining is safe —
+				// anything arriving now is stamped at or after our batch
+				// bound, above the frozen frontier.
+				d.drain()
+				d.se.cond.Broadcast()
+				d.se.cond.Wait()
+			}
+			m := e.outbuf[i]
+			e.outbuf[i] = Msg{}
+			e.buf[(e.head+e.count)%len(e.buf)] = m
+			e.count++
+			if m.At < e.minAt {
+				e.minAt = m.At
+			}
+		}
+		e.outbuf = e.outbuf[:0]
+		e.outMin = maxTime
+	}
+}
+
+// drained reports whether the whole topology is out of work. Called with
+// se.mu held.
+func (se *ShardedEngine) drained() bool {
+	for _, d := range se.domains {
+		if d.firing || d.eng.Pending() > 0 {
+			return false
+		}
+	}
+	for _, e := range se.edges {
+		if e.count > 0 || len(e.outbuf) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// fireBatch fires local events strictly below bound, unlocked. Sends go
+// to the out-buffers; nothing else crosses the domain boundary.
+func (d *Domain) fireBatch(bound Time) {
+	for {
+		st, ok := d.eng.PeekStamp()
+		if !ok || st.At >= bound {
+			return
+		}
+		d.eng.Step()
+	}
+}
+
+// loop is one domain's goroutine: drain inboxes, advance to the
+// conservative bound, flush, repeat; block when the bound pins us,
+// finish when the whole topology drains.
+func (d *Domain) loop() {
+	se := d.se
+	se.mu.Lock()
+	defer se.mu.Unlock()
+	for {
+		moved := d.drain()
+		oldF := d.frontier
+		d.updateFrontier()
+		bound := d.bound()
+		if st, ok := d.eng.PeekStamp(); ok && st.At < bound {
+			// The frontier freezes at the batch's first event: every send
+			// this batch makes carries at least that timestamp plus the
+			// edge lookahead, so neighbours may keep advancing against it.
+			d.firing = true
+			d.frontier = st.At
+			se.mu.Unlock()
+			d.fireBatch(bound)
+			se.mu.Lock()
+			d.flushOut()
+			d.firing = false
+			d.updateFrontier()
+			se.cond.Broadcast()
+			continue
+		}
+		if se.drained() {
+			se.done = true
+			se.cond.Broadcast()
+			return
+		}
+		if se.done {
+			return
+		}
+		if moved || d.frontier != oldF {
+			// This pass freed ring space or published a new frontier —
+			// state a blocked neighbour may be waiting on.
+			se.cond.Broadcast()
+		}
+		se.cond.Wait()
+		if se.done {
+			return
+		}
+	}
+}

@@ -1,0 +1,360 @@
+package sim
+
+import (
+	"runtime"
+	"testing"
+)
+
+// relayNode is a synthetic sharded workload: every node fires a train of
+// local ticks, forwards each tick to its ring neighbour with a TTL, and
+// folds every event it fires into an order-sensitive hash. Comparing the
+// hashes across execution modes checks that per-domain firing order (and
+// therefore state) is identical however the coordinator interleaves the
+// domains.
+type relayNode struct {
+	d     *Domain
+	next  *Port
+	peer  *relayNode
+	inbox relayInbox
+	step  Duration
+
+	fired int
+	hash  uint64
+}
+
+type relayInbox struct{ n *relayNode }
+
+const (
+	relayTick uint8 = iota
+	relayMsg
+)
+
+func (n *relayNode) fold(now Time, kind uint8, p0 uint64) {
+	h := n.hash
+	h = (h ^ uint64(now)) * 1099511628211
+	h = (h ^ uint64(kind)) * 1099511628211
+	h = (h ^ p0) * 1099511628211
+	n.hash = h
+	n.fired++
+}
+
+// HandleEvent is the node's local tick: forward it with a hop budget.
+func (n *relayNode) HandleEvent(e *Engine, now Time, payload uint64) {
+	n.fold(now, relayTick, payload)
+	ttl := payload & 0xffff
+	if ttl > 0 {
+		n.next.Send(&n.peer.inbox, n.step+Duration(payload%5)*Nanosecond, relayMsg, payload-1, 0, 0, 0)
+	}
+}
+
+// HandleEvent receives a forwarded message and keeps relaying it.
+func (ib relayInbox) HandleEvent(e *Engine, now Time, payload uint64) {
+	n := ib.n
+	m := e.ClaimMsg(payload)
+	n.fold(now, relayMsg, m.P0)
+	if ttl := m.P0 & 0xffff; ttl > 0 {
+		// Alternate between a local follow-up and a direct forward, so the
+		// workload mixes intra- and cross-domain scheduling.
+		if m.P0%2 == 0 {
+			e.ScheduleEvent(Duration(ttl)*Nanosecond, n, m.P0-1)
+		} else {
+			n.next.Send(&n.peer.inbox, n.step, relayMsg, m.P0-1, 0, 0, 0)
+		}
+	}
+}
+
+// buildRelayRing wires nodes domains in a ring with the given lookahead
+// and ring capacity, schedules ticks ticks per node, and returns the
+// nodes ready to run. Seal has been called.
+func buildRelayRing(nodes, ticks int, look Duration, cap int) (*ShardedEngine, []*relayNode) {
+	se := NewSharded()
+	ns := make([]*relayNode, nodes)
+	for i := range ns {
+		ns[i] = &relayNode{d: se.AddDomain(), step: look}
+		ns[i].inbox = relayInbox{n: ns[i]}
+	}
+	for i, n := range ns {
+		peer := ns[(i+1)%nodes]
+		n.peer = peer
+		n.next = se.Connect(n.d, peer.d, look, cap)
+	}
+	se.Seal()
+	for i, n := range ns {
+		for t := 0; t < ticks; t++ {
+			n.d.Engine().ScheduleEvent(Duration(t*97+i*13)*Nanosecond, n, uint64(16|i<<20|t<<24))
+		}
+	}
+	return se, ns
+}
+
+// fingerprint summarizes a finished run for cross-mode comparison.
+func fingerprint(ns []*relayNode) (fired []int, hashes []uint64) {
+	for _, n := range ns {
+		fired = append(fired, n.fired)
+		hashes = append(hashes, n.hash)
+	}
+	return
+}
+
+// TestParallelMatchesStepReference runs the same 8-domain relay both
+// through the single-threaded Step merge and through the goroutine-based
+// conservative-lookahead Run, and requires identical per-domain event
+// counts and order-sensitive hashes. Under -race this is also the data
+// race check for the parallel coordinator.
+func TestParallelMatchesStepReference(t *testing.T) {
+	const nodes, ticks = 8, 40
+	look := 100 * Nanosecond
+
+	ref, refNodes := buildRelayRing(nodes, ticks, look, 8)
+	if !ref.Parallel() {
+		t.Fatal("positive-lookahead ring should seal parallel")
+	}
+	for ref.Step() {
+	}
+	wantFired, wantHash := fingerprint(refNodes)
+
+	for trial := 0; trial < 3; trial++ {
+		se, ns := buildRelayRing(nodes, ticks, look, 8)
+		se.ForceThreads() // bypass the single-P merged fallback: race the goroutines
+		se.Run()
+		gotFired, gotHash := fingerprint(ns)
+		for i := range ns {
+			if gotFired[i] != wantFired[i] || gotHash[i] != wantHash[i] {
+				t.Fatalf("trial %d domain %d: fired=%d hash=%#x, want fired=%d hash=%#x",
+					trial, i, gotFired[i], gotHash[i], wantFired[i], wantHash[i])
+			}
+		}
+		if se.Fired() != ref.Fired() {
+			t.Fatalf("trial %d: fired %d events, reference fired %d", trial, se.Fired(), ref.Fired())
+		}
+	}
+}
+
+// TestLockstepMatchesStepReference seals the same ring with one
+// zero-lookahead edge (forcing lockstep) and checks Run against Step.
+func TestLockstepMatchesStepReference(t *testing.T) {
+	build := func() (*ShardedEngine, []*relayNode) {
+		se := NewSharded()
+		ns := make([]*relayNode, 4)
+		for i := range ns {
+			ns[i] = &relayNode{d: se.AddDomain(), step: 50 * Nanosecond}
+			ns[i].inbox = relayInbox{n: ns[i]}
+		}
+		for i, n := range ns {
+			peer := ns[(i+1)%len(ns)]
+			n.peer = peer
+			look := 50 * Nanosecond
+			if i == 2 {
+				look = 0 // instantaneous coupling: whole topology drops to lockstep
+				n.step = 0
+			}
+			n.next = se.Connect(n.d, peer.d, look, 8)
+		}
+		se.Seal()
+		for i, n := range ns {
+			for t := 0; t < 30; t++ {
+				n.d.Engine().ScheduleEvent(Duration(t*61+i*7)*Nanosecond, n, uint64(12|i<<20|t<<24))
+			}
+		}
+		return se, ns
+	}
+
+	ref, refNodes := build()
+	if ref.Parallel() {
+		t.Fatal("zero-lookahead edge should seal lockstep")
+	}
+	for ref.Step() {
+	}
+	wantFired, wantHash := fingerprint(refNodes)
+
+	se, ns := build()
+	se.Run()
+	gotFired, gotHash := fingerprint(ns)
+	for i := range ns {
+		if gotFired[i] != wantFired[i] || gotHash[i] != wantHash[i] {
+			t.Fatalf("domain %d: fired=%d hash=%#x, want fired=%d hash=%#x",
+				i, gotFired[i], gotHash[i], wantFired[i], wantHash[i])
+		}
+	}
+}
+
+// TestLockstepSharesSerialStamps checks the structural property the
+// byte-identity guarantee rests on: engines sealed into lockstep draw
+// from one shared sequence counter with the zero domain tag, so a
+// cross-domain send consumes exactly the sequence number a serial
+// ScheduleEvent would have.
+func TestLockstepSharesSerialStamps(t *testing.T) {
+	se := NewSharded()
+	a, b := se.AddDomain(), se.AddDomain()
+	p := se.Connect(a, b, 0, 4)
+	se.Seal()
+
+	a.Engine().ScheduleEvent(0, nopSink{}, 0) // seq 0
+	p.Send(nopSink{}, 5*Nanosecond, 0, 0, 0, 0, 0)
+	a.Engine().ScheduleEvent(0, nopSink{}, 0) // seq 2
+
+	st, ok := b.Engine().PeekStamp()
+	if !ok {
+		t.Fatal("send did not deliver")
+	}
+	if st.Seq != 1 || st.Dom != 0 || st.At != 5*Time(Nanosecond) {
+		t.Fatalf("delivered stamp = %+v, want {At:5ns Dom:0 Seq:1}", st)
+	}
+	if st2, _ := a.Engine().PeekStamp(); st2.Seq != 0 {
+		t.Fatalf("first local event seq = %d, want 0", st2.Seq)
+	}
+}
+
+// nopSink backs events that are scheduled but never fired in a test.
+type nopSink struct{}
+
+func (nopSink) HandleEvent(*Engine, Time, uint64) {}
+
+// claimSink fires delivered messages and reclaims their parked slots.
+type claimSink struct{}
+
+func (claimSink) HandleEvent(e *Engine, now Time, payload uint64) { e.ClaimMsg(payload) }
+
+// TestLookaheadBound pins the window math: a domain may advance strictly
+// below min over in-edges of (effective sender frontier + lookahead),
+// where the effective frontier closes transitively over idle domains.
+func TestLookaheadBound(t *testing.T) {
+	se := NewSharded()
+	a, b, c := se.AddDomain(), se.AddDomain(), se.AddDomain()
+	se.Connect(a, b, 10*Nanosecond, 4)
+	se.Connect(b, c, 20*Nanosecond, 4)
+	se.Connect(c, a, 30*Nanosecond, 4)
+	se.Seal()
+
+	a.frontier = 100 * Time(Nanosecond)
+	b.frontier = maxTime // idle: everything it ever fires is caused by a
+	c.frontier = maxTime
+
+	if got, want := b.bound(), Time(110*Nanosecond); got != want {
+		t.Errorf("bound(b) = %v, want %v", got, want)
+	}
+	// c's only in-edge is from idle b, whose effective frontier closes
+	// through a: ef(b) = 100 + 10, so bound(c) = 110 + 20.
+	if got, want := c.bound(), Time(130*Nanosecond); got != want {
+		t.Errorf("bound(c) = %v, want %v", got, want)
+	}
+	// a's own bound closes all the way around the ring: 100+10+20+30.
+	if got, want := a.bound(), Time(160*Nanosecond); got != want {
+		t.Errorf("bound(a) = %v, want %v", got, want)
+	}
+
+	// With b holding earlier local work, its own frontier takes over.
+	b.frontier = 50 * Time(Nanosecond)
+	if got, want := c.bound(), Time(70*Nanosecond); got != want {
+		t.Errorf("bound(c) with busy b = %v, want %v", got, want)
+	}
+}
+
+// TestSendBelowLookaheadPanics pins the contract that makes the window
+// math sound: no message may undercut its edge's declared minimum.
+func TestSendBelowLookaheadPanics(t *testing.T) {
+	se := NewSharded()
+	a, b := se.AddDomain(), se.AddDomain()
+	p := se.Connect(a, b, 10*Nanosecond, 4)
+	se.Connect(b, a, 10*Nanosecond, 4)
+	se.Seal()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("send below edge lookahead did not panic")
+		}
+	}()
+	p.Send(nopSink{}, 5*Nanosecond, 0, 0, 0, 0, 0)
+}
+
+// TestDeliverIntoPastPanics pins the runtime detector for lookahead
+// violations: a message behind the destination clock is a model bug.
+func TestDeliverIntoPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.ScheduleEvent(10*Nanosecond, nopSink{}, 0)
+	e.Step()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("delivery into the past did not panic")
+		}
+	}()
+	e.Deliver(Msg{Stamp: Stamp{At: 5 * Time(Nanosecond)}, Sink: nopSink{}})
+}
+
+// TestSPSCBackpressure floods a two-node parallel topology through
+// rings of capacity 2 and checks nothing is lost or reordered: the
+// producer blocks on the full ring until the consumer drains, and the
+// result still matches the single-threaded reference. Under -race this
+// doubles as the handoff race check.
+func TestSPSCBackpressure(t *testing.T) {
+	const ticks = 200
+	look := 10 * Nanosecond
+
+	ref, refNodes := buildRelayRing(2, ticks, look, 2)
+	for ref.Step() {
+	}
+	wantFired, wantHash := fingerprint(refNodes)
+
+	se, ns := buildRelayRing(2, ticks, look, 2)
+	se.ForceThreads() // backpressure only exists on the threaded path
+	se.Run()
+	gotFired, gotHash := fingerprint(ns)
+	for i := range ns {
+		if gotFired[i] != wantFired[i] || gotHash[i] != wantHash[i] {
+			t.Fatalf("domain %d: fired=%d hash=%#x, want fired=%d hash=%#x",
+				i, gotFired[i], gotHash[i], wantFired[i], wantHash[i])
+		}
+	}
+	if se.Fired() == 0 {
+		t.Fatal("nothing fired")
+	}
+}
+
+// TestParallelMergedFallback pins the single-P execution strategy: with
+// GOMAXPROCS=1 a parallel-mode Run (without ForceThreads) uses the
+// merged single-threaded execution — identical outcome to the Step
+// reference, zero coordination cost. Both the two-domain fast loop and
+// the generic N-domain merge are exercised.
+func TestParallelMergedFallback(t *testing.T) {
+	old := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(old)
+	for _, nodes := range []int{2, 8} {
+		ref, refNodes := buildRelayRing(nodes, 40, 100*Nanosecond, 8)
+		if !ref.Parallel() {
+			t.Fatal("positive-lookahead ring should seal parallel")
+		}
+		for ref.Step() {
+		}
+		wantFired, wantHash := fingerprint(refNodes)
+
+		se, ns := buildRelayRing(nodes, 40, 100*Nanosecond, 8)
+		se.Run()
+		gotFired, gotHash := fingerprint(ns)
+		for i := range ns {
+			if gotFired[i] != wantFired[i] || gotHash[i] != wantHash[i] {
+				t.Fatalf("%d nodes, domain %d: fired=%d hash=%#x, want fired=%d hash=%#x",
+					nodes, i, gotFired[i], gotHash[i], wantFired[i], wantHash[i])
+			}
+		}
+	}
+}
+
+// TestDeliverZeroAllocs pins the parked-message pool: steady-state
+// cross-domain handoff must not allocate.
+func TestDeliverZeroAllocs(t *testing.T) {
+	e := NewEngine()
+	var seq uint64
+	// Warm the slab and message pool.
+	for i := 0; i < 64; i++ {
+		e.Deliver(Msg{Stamp: Stamp{At: e.Now(), Seq: seq}, Sink: claimSink{}, P0: 1})
+		seq++
+		e.Step()
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		e.Deliver(Msg{Stamp: Stamp{At: e.Now(), Seq: seq}, Sink: claimSink{}, P0: 1})
+		seq++
+		e.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("Deliver+Step allocated %.1f times per run, want 0", allocs)
+	}
+}
