@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test golden race race-obs race-fault race-shards cover cover-check fuzz-smoke vet lint bench-quick bench-obs bench-smoke bench-shards bench-json smoke ci clean
+.PHONY: all build test golden mem-guard race race-obs race-fault race-shards cover cover-check fuzz-smoke vet lint bench-quick bench-obs bench-smoke bench-shards bench-json bench-mem smoke ci clean
 
 all: build
 
@@ -78,6 +78,12 @@ lint: vet
 golden:
 	$(GO) test -run TestQuickSuiteGolden -count=1 ./internal/experiments
 
+# Streaming-memory gate: the 10^5-tenant streaming HyperTRIO cell must
+# finish within its committed live-heap budget — the pin that keeps
+# streaming-run memory O(tenants) instead of O(packets).
+mem-guard:
+	$(GO) test -run TestMegaTenantHeapBudget -count=1 ./internal/experiments
+
 # Sharded-execution race pass: the coordinator's domain goroutines,
 # SPSC rings and lookahead bookkeeping under the race detector — the
 # sim- and core-level determinism tests, then the full quick suite on
@@ -112,11 +118,19 @@ bench-shards:
 bench-json:
 	$(GO) run ./cmd/benchjson $(if $(BENCH_BASELINE),-baseline $(BENCH_BASELINE))
 
+# Memory-footprint snapshot (schema hypertrio-bench/2): streaming vs
+# materialized bytes/tenant and peak heap for the 10^5-tenant cell,
+# written to BENCH_MEM.json. Pass BENCH_BASELINE=<file> to embed ratios
+# against a previous snapshot (v1 baselines load; their memory delta is
+# simply omitted).
+bench-mem:
+	$(GO) run ./cmd/benchjson -skip-bench -skip-suite -mem -o BENCH_MEM.json $(if $(BENCH_BASELINE),-baseline $(BENCH_BASELINE))
+
 # CI smoke run: the reduced-scale experiment suite end to end.
 smoke:
 	$(GO) run ./cmd/experiments -quick -out results-smoke
 
-ci: build lint test golden race race-obs race-fault race-shards cover-check fuzz-smoke bench-smoke bench-shards smoke
+ci: build lint test golden mem-guard race race-obs race-fault race-shards cover-check fuzz-smoke bench-smoke bench-shards smoke
 
 clean:
 	rm -rf results-smoke cover.out

@@ -265,7 +265,7 @@ func BenchmarkDevTLB(b *testing.B) {
 			c := tlb.New(tlb.Config{Name: "devtlb", Sets: 8, Ways: 8, Policy: tlb.LFU, Index: mode.index})
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				key := tlb.Key{SID: uint16(i % 64), Tag: uint64(i % 8)}
+				key := tlb.Key{SID: uint32(i % 64), Tag: uint64(i % 8)}
 				if _, ok := c.Lookup(key); !ok {
 					c.Insert(tlb.Entry{Key: key, Value: uint64(i)})
 				}
@@ -277,14 +277,14 @@ func BenchmarkDevTLB(b *testing.B) {
 func BenchmarkIOMMUTranslate(b *testing.B) {
 	host := mem.NewSpace("host", 0x1_0000_0000, 0)
 	ct := mem.NewContextTable()
-	tenants := map[mem.SID]*mem.NestedTable{}
+	tenants := mem.NewTenantTables(16)
 	var spaces []*workload.AddressSpace
 	for i := 1; i <= 16; i++ {
 		as, err := workload.BuildAddressSpace(workload.ProfileFor(workload.Websearch), mem.SID(i), host, ct)
 		if err != nil {
 			b.Fatal(err)
 		}
-		tenants[mem.SID(i)] = as.Nested
+		tenants.Set(mem.SID(i), as.Nested)
 		spaces = append(spaces, as)
 	}
 	u := iommu.New(iommu.Config{

@@ -2,8 +2,11 @@
 // machine-readable JSON: it runs the hot-path micro- and end-to-end
 // benchmarks through `go test -bench`, parses every reported metric
 // (ns/op, B/op, allocs/op and custom units like pkts/s), times a full
-// quick-scale experiment-suite regeneration in-process, and writes one
-// self-describing snapshot (schema "hypertrio-bench/1").
+// quick-scale experiment-suite regeneration in-process, measures the
+// memory footprint of a large-tenant simulation in streaming vs
+// materialized mode (-mem), and writes one self-describing snapshot
+// (schema "hypertrio-bench/2"; snapshots from the /1 schema are still
+// accepted as -baseline input).
 //
 // Comparing two snapshots is the intended workflow:
 //
@@ -30,7 +33,10 @@ import (
 	"strings"
 	"time"
 
+	"hypertrio/internal/core"
 	"hypertrio/internal/experiments"
+	"hypertrio/internal/trace"
+	"hypertrio/internal/workload"
 )
 
 // defaultBench is the hot-path set the PR gates care about; -bench
@@ -44,9 +50,27 @@ type Snapshot struct {
 	GoVersion  string       `json:"go_version"`
 	GOMAXPROCS int          `json:"gomaxprocs"`
 	BenchTime  string       `json:"benchtime"`
-	Benchmarks []Benchmark  `json:"benchmarks"`
+	Benchmarks []Benchmark  `json:"benchmarks,omitempty"`
 	Suite      *SuiteTiming `json:"suite,omitempty"`
+	Memory     *MemoryStats `json:"memory,omitempty"`
 	Baseline   *Comparison  `json:"baseline,omitempty"`
+}
+
+// MemoryStats reports the heap footprint of one large-tenant HyperTRIO
+// cell run both ways: materialized (the trace held as a packet slice)
+// and streaming (the online generator-backed source). Live-heap figures
+// are GC-settled deltas attributable to the run; bytes/tenant divides by
+// the tenant count — the number that must stay O(1) for the streaming
+// contract to hold. PeakHeapSysBytes is the process's high-water heap
+// footprint from the OS's point of view after both runs.
+type MemoryStats struct {
+	Tenants                    int     `json:"tenants"`
+	PacketsPerRun              uint64  `json:"packets_per_run"`
+	StreamingLiveHeapBytes     uint64  `json:"streaming_live_heap_bytes"`
+	StreamingBytesPerTenant    float64 `json:"streaming_bytes_per_tenant"`
+	MaterializedLiveHeapBytes  uint64  `json:"materialized_live_heap_bytes"`
+	MaterializedBytesPerTenant float64 `json:"materialized_bytes_per_tenant"`
+	PeakHeapSysBytes           uint64  `json:"peak_heap_sys_bytes"`
 }
 
 // Benchmark is one parsed `go test -bench` result line.
@@ -78,6 +102,15 @@ type SuiteTiming struct {
 type Comparison struct {
 	File   string           `json:"file"`
 	Deltas map[string]Delta `json:"deltas"`
+	Memory *MemoryDelta     `json:"memory,omitempty"`
+}
+
+// MemoryDelta reports how the memory footprint moved against a baseline
+// that also measured it (schema /2); ratios are baseline/current, so >1
+// is an improvement.
+type MemoryDelta struct {
+	StreamingBytesPerTenantRatio    float64 `json:"streaming_bytes_per_tenant_ratio,omitempty"`
+	MaterializedBytesPerTenantRatio float64 `json:"materialized_bytes_per_tenant_ratio,omitempty"`
 }
 
 // Delta reports how one benchmark moved against the baseline. Speedup
@@ -97,20 +130,28 @@ func main() {
 		benchTime = flag.String("benchtime", "2s", "per-benchmark time passed to go test")
 		baseline  = flag.String("baseline", "", "previous snapshot to embed deltas against")
 		skipSuite = flag.Bool("skip-suite", false, "skip timing the quick experiment suite")
+		skipBench = flag.Bool("skip-bench", false, "skip the go test -bench run")
+		mem       = flag.Bool("mem", false, "measure the streaming vs materialized memory footprint of a large-tenant cell")
+		memTen    = flag.Int("mem-tenants", 100_000, "tenant count for the -mem measurement")
+		memBudget = flag.Int("mem-budget", 3_000_000, "total packet budget for the -mem measurement")
 	)
 	flag.Parse()
 
 	snap := Snapshot{
-		Schema:     "hypertrio-bench/1",
+		Schema:     "hypertrio-bench/2",
 		Generated:  time.Now().UTC().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		BenchTime:  *benchTime,
 	}
 
-	benches, err := runBenchmarks(*benchRE, *benchTime)
-	if err != nil {
-		fatalf("running benchmarks: %v", err)
+	var benches []Benchmark
+	if !*skipBench {
+		var err error
+		benches, err = runBenchmarks(*benchRE, *benchTime)
+		if err != nil {
+			fatalf("running benchmarks: %v", err)
+		}
 	}
 	snap.Benchmarks = benches
 
@@ -122,8 +163,16 @@ func main() {
 		snap.Suite = st
 	}
 
+	if *mem {
+		ms, err := measureMemory(*memTen, *memBudget)
+		if err != nil {
+			fatalf("measuring memory: %v", err)
+		}
+		snap.Memory = ms
+	}
+
 	if *baseline != "" {
-		cmp, err := compare(*baseline, benches)
+		cmp, err := compare(*baseline, benches, snap.Memory)
 		if err != nil {
 			fatalf("comparing against %s: %v", *baseline, err)
 		}
@@ -141,6 +190,10 @@ func main() {
 	fmt.Printf("wrote %s (%d benchmarks", *out, len(snap.Benchmarks))
 	if snap.Suite != nil {
 		fmt.Printf(", quick suite %.1fs", snap.Suite.WallSeconds)
+	}
+	if m := snap.Memory; m != nil {
+		fmt.Printf(", %d tenants: %.0f B/tenant streaming vs %.0f materialized",
+			m.Tenants, m.StreamingBytesPerTenant, m.MaterializedBytesPerTenant)
 	}
 	fmt.Println(")")
 }
@@ -245,9 +298,108 @@ func timeQuickSuite() (*SuiteTiming, error) {
 	}, nil
 }
 
+// memTraceConfig mirrors the ext-megatenant experiment's cell: an
+// iperf3 hyper-tenant stream with a bounded total packet budget spread
+// across the tenants, drawn with the compact per-tenant RNG.
+func memTraceConfig(tenants, budget int) trace.Config {
+	ppt := budget / tenants
+	if ppt < 3 {
+		ppt = 3
+	}
+	p := workload.ProfileFor(workload.Iperf3)
+	scale := float64(ppt*workload.RequestsPerPacket) / float64(p.MinRequests)
+	if scale > 1 {
+		scale = 1
+	}
+	return trace.Config{
+		Benchmark: workload.Iperf3, Tenants: tenants, Interleave: trace.RR1,
+		Seed: 42, Scale: scale, RNG: workload.CompactRNG,
+	}
+}
+
+// liveHeap settles the collector and returns the live heap size.
+func liveHeap() uint64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
+}
+
+// measureMemory runs the same large-tenant HyperTRIO cell twice — once
+// over a materialized trace, once over the online stream — and reports
+// the GC-settled live-heap delta each run holds. The materialized run
+// goes first so its packet slice is collected before the streaming
+// measurement starts from a clean floor. Materialized memory grows with
+// the packet budget (the whole sequence is held as a slice) while
+// streaming memory tracks only the tenant count, so the budget controls
+// how starkly the O(packets) vs O(tenants) contrast shows.
+func measureMemory(tenants, budget int) (*MemoryStats, error) {
+	tc := memTraceConfig(tenants, budget)
+	cfg := core.HyperTRIOConfig()
+
+	// run builds the source, drives the cell, and returns the live-heap
+	// delta the run held; the source and system are locals, so they are
+	// collectible as soon as the closure returns.
+	run := func(stream bool) (delta, pkts uint64, err error) {
+		base := liveHeap()
+		var src trace.Source
+		if stream {
+			src, err = trace.NewStream(tc)
+		} else {
+			var tr *trace.Trace
+			if tr, err = trace.Construct(tc); err == nil {
+				src = tr.Source()
+			}
+		}
+		if err != nil {
+			return 0, 0, err
+		}
+		sys, err := core.NewSystemSource(cfg, src)
+		if err != nil {
+			return 0, 0, err
+		}
+		res, err := sys.Run()
+		if err != nil {
+			return 0, 0, err
+		}
+		live := liveHeap()
+		runtime.KeepAlive(sys)
+		if live > base {
+			delta = live - base
+		}
+		return delta, uint64(res.Packets), nil
+	}
+
+	stats := &MemoryStats{Tenants: tenants}
+	mat, matPkts, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+	str, strPkts, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+	if strPkts != matPkts {
+		return nil, fmt.Errorf("streaming run completed %d packets, materialized %d; modes diverged",
+			strPkts, matPkts)
+	}
+	stats.PacketsPerRun = matPkts
+	stats.MaterializedLiveHeapBytes = mat
+	stats.MaterializedBytesPerTenant = float64(mat) / float64(tenants)
+	stats.StreamingLiveHeapBytes = str
+	stats.StreamingBytesPerTenant = float64(str) / float64(tenants)
+
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	stats.PeakHeapSysBytes = ms.HeapSys
+	return stats, nil
+}
+
 // compare loads a previous snapshot and computes per-benchmark deltas
-// for every benchmark present in both.
-func compare(path string, current []Benchmark) (*Comparison, error) {
+// for every benchmark present in both. Baselines written by either the
+// /1 or the /2 schema are accepted; /1 files simply carry no memory
+// section, so the memory delta is omitted.
+func compare(path string, current []Benchmark, mem *MemoryStats) (*Comparison, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
@@ -255,6 +407,11 @@ func compare(path string, current []Benchmark) (*Comparison, error) {
 	var prev Snapshot
 	if err := json.Unmarshal(data, &prev); err != nil {
 		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	switch prev.Schema {
+	case "hypertrio-bench/1", "hypertrio-bench/2":
+	default:
+		return nil, fmt.Errorf("%s: unsupported snapshot schema %q", path, prev.Schema)
 	}
 	base := make(map[string]Benchmark, len(prev.Benchmarks))
 	for _, b := range prev.Benchmarks {
@@ -283,6 +440,16 @@ func compare(path string, current []Benchmark) (*Comparison, error) {
 			}
 		}
 		cmp.Deltas[b.Name] = d
+	}
+	if mem != nil && prev.Memory != nil && prev.Memory.Tenants == mem.Tenants {
+		md := &MemoryDelta{}
+		if mem.StreamingBytesPerTenant > 0 {
+			md.StreamingBytesPerTenantRatio = prev.Memory.StreamingBytesPerTenant / mem.StreamingBytesPerTenant
+		}
+		if mem.MaterializedBytesPerTenant > 0 {
+			md.MaterializedBytesPerTenantRatio = prev.Memory.MaterializedBytesPerTenant / mem.MaterializedBytesPerTenant
+		}
+		cmp.Memory = md
 	}
 	return cmp, nil
 }

@@ -53,6 +53,8 @@ type options struct {
 	tenants      int
 	seed         int64
 	scale        float64
+	stream       bool
+	compactRNG   bool
 	linkGbps     float64
 	ptb          int
 	devtlbSize   int
@@ -84,6 +86,8 @@ func parseFlags(args []string, stderr io.Writer) (options, error) {
 	fs.Int64Var(&o.seed, "seed", 42, "trace construction seed")
 	fs.Float64Var(&o.scale, "scale", 0.01, "trace scale in (0,1]; 1.0 is paper scale (~70M requests at 1024 tenants)")
 	fs.StringVar(&o.replayFile, "replay", "", "replay a saved .hsio trace instead of constructing one")
+	fs.BoolVar(&o.stream, "stream", false, "replay an online generator-backed stream instead of materializing the trace (O(tenants) memory; identical results; supports -tenants up to 1000000)")
+	fs.BoolVar(&o.compactRNG, "compact-rng", false, "use the compact splitmix64 tenant RNG (~60x less generator state; different deterministic sequences)")
 
 	fs.Float64Var(&o.linkGbps, "link", 200, "I/O link bandwidth in Gb/s")
 	fs.IntVar(&o.ptb, "ptb", 0, "override PTB entries (0 = design default)")
@@ -146,9 +150,18 @@ func (o options) validate() error {
 		if o.tenants <= 0 {
 			return fmt.Errorf("-tenants must be positive, got %d", o.tenants)
 		}
+		if o.tenants > 1_000_000 {
+			return fmt.Errorf("-tenants must be at most 1000000, got %d", o.tenants)
+		}
+		if o.tenants > 100_000 && !o.stream {
+			return fmt.Errorf("-tenants %d requires -stream (materializing a trace that long is O(requests) memory)", o.tenants)
+		}
 		if o.scale <= 0 || o.scale > 1 {
 			return fmt.Errorf("-scale must be in (0,1], got %g", o.scale)
 		}
+	}
+	if o.stream && o.replayFile != "" {
+		return fmt.Errorf("-stream and -replay are mutually exclusive (a saved trace is already materialized)")
 	}
 	if o.design != "base" && o.design != "hypertrio" {
 		return fmt.Errorf("unknown design %q (want base or hypertrio)", o.design)
@@ -269,37 +282,54 @@ func run(o options, out io.Writer) error {
 		cfg.Obs = obsOpts
 	}
 
-	var tr *hypertrio.Trace
-	var err error
+	var src hypertrio.Source
 	if o.replayFile != "" {
 		f, err := os.Open(o.replayFile)
 		if err != nil {
 			return err
 		}
-		tr, err = trace.Read(f)
+		tr, err := trace.Read(f)
 		f.Close()
 		if err != nil {
 			return fmt.Errorf("reading %s: %w", o.replayFile, err)
 		}
 		fmt.Fprintf(out, "replaying %s: %s trace, %d tenants, %v interleave\n",
 			o.replayFile, tr.Benchmark, tr.Tenants, tr.Interleave)
+		src = tr.Source()
 	} else {
 		kind, _ := hypertrio.ParseBenchmark(o.benchmark)
 		iv, _ := hypertrio.ParseInterleave(o.interleave)
-		fmt.Fprintf(out, "constructing %s trace: %d tenants, %v interleave, scale %g...\n",
-			kind, o.tenants, iv, o.scale)
-		tr, err = hypertrio.ConstructTrace(hypertrio.TraceConfig{
+		tc := hypertrio.TraceConfig{
 			Benchmark: kind, Tenants: o.tenants, Interleave: iv, Seed: o.seed, Scale: o.scale,
-		})
-		if err != nil {
-			return err
+		}
+		if o.compactRNG {
+			tc.RNG = hypertrio.CompactRNG
+		}
+		if o.stream {
+			fmt.Fprintf(out, "streaming %s workload: %d tenants, %v interleave, scale %g (online, O(tenants) memory)...\n",
+				kind, o.tenants, iv, o.scale)
+			s, err := hypertrio.NewStream(tc)
+			if err != nil {
+				return err
+			}
+			src = s
+		} else {
+			fmt.Fprintf(out, "constructing %s trace: %d tenants, %v interleave, scale %g...\n",
+				kind, o.tenants, iv, o.scale)
+			tr, err := hypertrio.ConstructTrace(tc)
+			if err != nil {
+				return err
+			}
+			src = tr.Source()
 		}
 	}
-	fmt.Fprintf(out, "trace: %d packets, %d translation requests (min/max per-tenant budget %s/%s)\n",
-		len(tr.Packets), tr.Requests(),
-		stats.Count(uint64(tr.MinTenantBudget())), stats.Count(uint64(tr.MaxTenantBudget())))
+	if tr := src.Materialized(); tr != nil {
+		fmt.Fprintf(out, "trace: %d packets, %d translation requests (min/max per-tenant budget %s/%s)\n",
+			len(tr.Packets), tr.Requests(),
+			stats.Count(uint64(tr.MinTenantBudget())), stats.Count(uint64(tr.MaxTenantBudget())))
+	}
 
-	sys, err := hypertrio.NewSystem(cfg, tr)
+	sys, err := hypertrio.NewSystemSource(cfg, src)
 	if err != nil {
 		return err
 	}

@@ -85,6 +85,10 @@ func TestRunErrors(t *testing.T) {
 		{"negative shards", func(o *options) { o.shards = -2 }},
 		{"engine trace without trace file", func(o *options) { o.engineEvents = true }},
 		{"missing replay file", func(o *options) { o.replayFile = "/nonexistent.hsio" }},
+		{"tenants above cap", func(o *options) { o.tenants = 1_000_001; o.stream = true }},
+		{"huge tenants without stream", func(o *options) { o.tenants = 200_000 }},
+		{"stream with replay", func(o *options) { o.stream = true; o.replayFile = "x.hsio" }},
+		{"stream with oracle policy", func(o *options) { o.stream = true; o.policy = "oracle" }},
 	}
 	for _, c := range cases {
 		o := base()
@@ -92,6 +96,35 @@ func TestRunErrors(t *testing.T) {
 		if err := run(o, io.Discard); err == nil {
 			t.Errorf("%s: expected error", c.name)
 		}
+	}
+}
+
+// TestRunStreamMatchesMaterialized pins the user-visible contract of
+// -stream: apart from the construction banner and the absent trace-size
+// line (a stream has no length up front), a streaming run's report is
+// byte-identical to the materialized run's.
+func TestRunStreamMatchesMaterialized(t *testing.T) {
+	report := func(stream, compact bool) string {
+		var b strings.Builder
+		o := base()
+		o.stream, o.compactRNG = stream, compact
+		if err := run(o, &b); err != nil {
+			t.Fatal(err)
+		}
+		out := b.String()
+		// Drop everything before the blank line preceding the results.
+		if i := strings.Index(out, "\n\n"); i >= 0 {
+			out = out[i:]
+		}
+		return out
+	}
+	if got, want := report(true, false), report(false, false); got != want {
+		t.Errorf("streaming report diverged from materialized:\n--- stream\n%s\n--- trace\n%s", got, want)
+	}
+	// The compact RNG draws different sequences but must still run clean
+	// in both modes and agree between them.
+	if got, want := report(true, true), report(false, true); got != want {
+		t.Errorf("compact-RNG streaming report diverged from materialized:\n--- stream\n%s\n--- trace\n%s", got, want)
 	}
 }
 

@@ -87,6 +87,30 @@ type Trace = trace.Trace
 // first tenant's log is exhausted.
 func ConstructTrace(cfg TraceConfig) (*Trace, error) { return trace.Construct(cfg) }
 
+// Source is a pull-based packet stream: either a materialized Trace
+// adapter (Trace.Source) or an online generator-backed stream
+// (NewStream). The simulation consumes packets one at a time through it.
+type Source = trace.Source
+
+// Stream is the online hyper-tenant source: the same packet sequence
+// ConstructTrace would materialize, synthesized on the fly in O(tenants)
+// memory — the scale-out path to millions of tenants.
+type Stream = trace.Stream
+
+// NewStream builds the online source for cfg.
+func NewStream(cfg TraceConfig) (*Stream, error) { return trace.NewStream(cfg) }
+
+// RNG selects the per-tenant random-source implementation
+// (TraceConfig.RNG): StdRNG reproduces every golden sequence, CompactRNG
+// shrinks per-generator state ~60x for million-tenant streaming.
+type RNG = workload.RNG
+
+// The available random-source implementations.
+const (
+	StdRNG     = workload.StdRNG
+	CompactRNG = workload.CompactRNG
+)
+
 // Params are the performance-model latencies and link parameters
 // (Table II).
 type Params = core.Params
@@ -121,11 +145,31 @@ type System = core.System
 // NewSystem builds a simulation of cfg over tr without running it.
 func NewSystem(cfg Config, tr *Trace) (*System, error) { return core.NewSystem(cfg, tr) }
 
+// NewSystemSource builds a simulation over any packet Source. Online
+// sources keep the run's memory O(tenants); configurations that need the
+// whole sequence ahead of time (the Oracle replacement policy) are
+// rejected with a clear error unless the source is materialized.
+func NewSystemSource(cfg Config, src Source) (*System, error) {
+	return core.NewSystemSource(cfg, src)
+}
+
 // Run replays the trace against the configuration and returns the
 // metrics. Each call builds fresh per-tenant page tables, so runs are
 // independent and deterministic.
 func Run(cfg Config, tr *Trace) (Result, error) {
 	sys, err := core.NewSystem(cfg, tr)
+	if err != nil {
+		return Result{}, err
+	}
+	return sys.Run()
+}
+
+// RunSource replays any packet source — streaming sources never
+// materialize the sequence, so trace-length memory drops out of the run
+// entirely. The result is byte-identical to Run over the constructed
+// trace of the same TraceConfig.
+func RunSource(cfg Config, src Source) (Result, error) {
+	sys, err := core.NewSystemSource(cfg, src)
 	if err != nil {
 		return Result{}, err
 	}

@@ -33,8 +33,8 @@ func (s *System) FlushAll() int {
 // in place, so in-flight partial-walk resume points stay coherent and the
 // page's next full walk observes the new frame.
 func (s *System) Remap(sid mem.SID, iova uint64, shift uint8) error {
-	nt, ok := s.tenants[sid]
-	if !ok {
+	nt := s.tenants.Get(sid)
+	if nt == nil {
 		return fmt.Errorf("core: remap for unknown SID %d", sid)
 	}
 	_, _, err := nt.MapIOVA(iova, uint(shift))

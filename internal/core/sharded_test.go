@@ -198,9 +198,9 @@ func TestShardedRunUntilBoundary(t *testing.T) {
 		t.Fatalf("total fired diverged: %d serial vs %d sharded",
 			serial.engine.Fired(), sharded.sharded.Fired())
 	}
-	if serial.cursor != len(tr.Packets) || sharded.cursor != len(tr.Packets) {
+	if serial.consumed != len(tr.Packets) || sharded.consumed != len(tr.Packets) {
 		t.Fatalf("runs did not drain: serial %d, sharded %d of %d packets",
-			serial.cursor, sharded.cursor, len(tr.Packets))
+			serial.consumed, sharded.consumed, len(tr.Packets))
 	}
 	a, b := serial.result(), sharded.result()
 	if !reflect.DeepEqual(a, b) {

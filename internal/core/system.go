@@ -22,7 +22,14 @@ import (
 // and retry), the packet-level accounting, and the observability wiring.
 type System struct {
 	cfg Config
-	tr  *trace.Trace
+	// src is the packet source the run consumes; tr is the materialized
+	// trace behind it, or nil for online (streaming) sources. Everything
+	// that genuinely needs the whole sequence at once — oracle
+	// precomputation, the unmap lookahead scan — checks tr and fails fast
+	// or degrades conservatively when it is nil.
+	src  trace.Source
+	tr   *trace.Trace
+	meta trace.Meta
 
 	engine *sim.Engine
 	dt     sim.Duration // packet inter-arrival gap
@@ -40,16 +47,22 @@ type System struct {
 
 	host    *mem.Space
 	ctx     *mem.ContextTable
-	tenants map[mem.SID]*mem.NestedTable
+	tenants *mem.TenantTables
 	chain   *pipeline.Chain
 
 	// injector applies the configured fault plan (nil without one; every
 	// consultation in the run path is behind that nil check).
 	injector *fault.Injector
 
-	cursor       int
+	// Pull-model packet state: cur holds the packet currently offered to
+	// the link (pulled from src once, then retried across drops until
+	// accepted); consumed counts accepted packets.
+	cur          workload.Packet
+	curValid     bool
+	srcDone      bool
+	consumed     int
 	unmapApplied bool
-	firstAttempt sim.Time // when the packet at cursor first hit the link
+	firstAttempt sim.Time // when the current packet first hit the link
 	haveAttempt  bool
 
 	// Pooled per-packet contexts. Records are recycled through a free
@@ -102,19 +115,60 @@ const (
 // no packets is legal — an aggressive Scale can round a benchmark down
 // to zero packets — and runs to a zeroed Result.
 func NewSystem(cfg Config, tr *trace.Trace) (*System, error) {
+	if tr == nil {
+		return nil, fmt.Errorf("core: empty trace")
+	}
+	return NewSystemSource(cfg, tr.Source())
+}
+
+// RequiresMaterialized reports whether the configuration's resolved
+// pipeline needs the whole request sequence ahead of time — true exactly
+// when any cache runs the Oracle (Belady) policy, whose replacement
+// decisions look into the future. Streaming sources cannot drive such a
+// configuration; NewSystemSource fails fast instead of silently
+// materializing O(requests) state.
+func RequiresMaterialized(cfg Config) bool {
+	for _, ss := range cfg.PipelineSpec().Stages {
+		for _, cc := range []tlb.Config{
+			ss.Cache,
+			ss.IOMMU.ContextCache, ss.IOMMU.IOTLB, ss.IOMMU.L2PWC, ss.IOMMU.L3PWC,
+		} {
+			if cc.Policy == tlb.Oracle {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// NewSystemSource is NewSystem over any packet Source — a materialized
+// trace adapter or an online stream. Online sources keep the run's
+// memory O(tenants): the model pulls one packet at a time and never sees
+// the sequence's length up front.
+func NewSystemSource(cfg Config, src trace.Source) (*System, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	if tr == nil || tr.Tenants <= 0 {
+	if src == nil {
+		return nil, fmt.Errorf("core: nil packet source")
+	}
+	meta := src.Meta()
+	if meta.Tenants <= 0 {
 		return nil, fmt.Errorf("core: empty trace")
+	}
+	tr := src.Materialized()
+	if tr == nil && RequiresMaterialized(cfg) {
+		return nil, fmt.Errorf("core: the Oracle (Belady) replacement policy requires a materialized trace; construct the trace instead of streaming it")
 	}
 	s := &System{
 		cfg:       cfg,
+		src:       src,
 		tr:        tr,
+		meta:      meta,
 		dt:        cfg.Params.Interarrival(),
 		host:      mem.NewSpace("host", 0x1_0000_0000, 0),
 		ctx:       mem.NewContextTable(),
-		tenantLat: make([]tenantLatency, tr.Tenants+1),
+		tenantLat: make([]tenantLatency, meta.Tenants+1),
 	}
 	if cfg.Shards >= 2 {
 		s.sharded = sim.NewSharded()
@@ -124,24 +178,58 @@ func NewSystem(cfg Config, tr *trace.Trace) (*System, error) {
 	} else {
 		s.engine = sim.NewEngine()
 	}
-	profile := tr.Profile
+	profile := meta.Profile
 	if err := profile.Validate(); err != nil {
 		// Traces built by older tools may lack the embedded profile;
 		// fall back to the benchmark's calibration.
-		profile = workload.ProfileFor(tr.Benchmark)
+		profile = workload.ProfileFor(meta.Benchmark)
 	}
 	levels := cfg.PageTableLevels
 	if levels == 0 {
 		levels = mem.Levels
 	}
-	tenants := make(map[mem.SID]*mem.NestedTable, tr.Tenants)
-	for i := 1; i <= tr.Tenants; i++ {
-		sid := mem.SID(i)
-		as, err := workload.BuildAddressSpaceLevels(profile, sid, s.host, s.ctx, levels)
-		if err != nil {
-			return nil, fmt.Errorf("core: building tenant %d: %w", i, err)
+	s.ctx.Reserve(mem.SID(meta.Tenants))
+	tenants := mem.NewTenantTables(mem.SID(meta.Tenants))
+	if cfg.Fault == nil {
+		// Every tenant runs the same guest image, so tenant page tables are
+		// structurally identical up to the ring-window slot the SID maps to
+		// (RingSlots congruence classes). Simulation outcomes depend only
+		// on walk shape and (SID, IOVA) cache keys — never on which
+		// physical frames back a walk — so all tenants of one class share a
+		// single template table, keeping simulated memory O(RingSlots) at
+		// any tenant count. A fault plan's Remap mutates per-tenant tables,
+		// so faulted runs build private ones below.
+		classes := workload.RingSlots
+		if meta.Tenants < classes {
+			classes = meta.Tenants
 		}
-		tenants[sid] = as.Nested
+		templates := make([]*mem.NestedTable, classes)
+		for c := 0; c < classes; c++ {
+			as, err := workload.BuildAddressSpaceLevels(profile, mem.SID(c+1), s.host, nil, levels)
+			if err != nil {
+				return nil, fmt.Errorf("core: building tenant template %d: %w", c+1, err)
+			}
+			templates[c] = as.Nested
+		}
+		for i := 1; i <= meta.Tenants; i++ {
+			sid := mem.SID(i)
+			nt := templates[(i-1)%classes]
+			tenants.Set(sid, nt)
+			s.ctx.Set(sid, mem.ContextEntry{
+				DID:       uint32(sid),
+				GuestRoot: nt.GuestRoot(),
+				HostRoot:  nt.HostRoot(),
+			})
+		}
+	} else {
+		for i := 1; i <= meta.Tenants; i++ {
+			sid := mem.SID(i)
+			as, err := workload.BuildAddressSpaceLevels(profile, sid, s.host, s.ctx, levels)
+			if err != nil {
+				return nil, fmt.Errorf("core: building tenant %d: %w", i, err)
+			}
+			tenants.Set(sid, as.Nested)
+		}
 	}
 	s.tenants = tenants
 	env := pipeline.Env{
@@ -151,9 +239,14 @@ func NewSystem(cfg Config, tr *trace.Trace) (*System, error) {
 			TLBHit:       cfg.Params.TLBHit,
 			Interarrival: s.dt,
 		},
-		Ctx:        s.ctx,
-		Tenants:    tenants,
-		OracleKeys: func() []tlb.Key { return flattenKeys(tr) },
+		Ctx:     s.ctx,
+		Tenants: tenants,
+	}
+	if tr != nil {
+		// Only materialized sources can serve the oracle's future; the
+		// builder skips SetFuture when this hook is absent, and the
+		// fail-fast check above guarantees no Oracle stage was configured.
+		env.OracleKeys = func() []tlb.Key { return flattenKeys(tr) }
 	}
 	if o := cfg.Obs; o != nil {
 		s.otr = o.Tracer
@@ -212,6 +305,13 @@ func (s *System) lookaheads() (toIO, toDev sim.Duration) {
 		return s.cfg.Params.PCIeOneWay, s.cfg.Params.PCIeOneWay
 	}
 	if s.cfg.Fault != nil || s.cfg.Obs != nil || s.cfg.Prefetch != nil {
+		return 0, 0
+	}
+	if s.tr == nil {
+		// Online source: the unmap scan below needs the whole sequence,
+		// which a stream cannot provide without materializing it. Degrade
+		// conservatively to the lockstep merge (zero windows) — still
+		// sharded, still byte-identical to serial.
 		return 0, 0
 	}
 	for _, p := range s.tr.Packets {
@@ -313,9 +413,12 @@ func (s *System) Run() (Result, error) {
 	} else {
 		s.engine.Run()
 	}
-	if s.cursor != len(s.tr.Packets) {
+	if s.curValid || !s.srcDone {
+		return Result{}, fmt.Errorf("core: simulation drained with the packet stream unconsumed (%d packets accepted)", s.consumed)
+	}
+	if s.tr != nil && s.consumed != len(s.tr.Packets) {
 		return Result{}, fmt.Errorf("core: simulation drained with %d of %d packets unprocessed",
-			len(s.tr.Packets)-s.cursor, len(s.tr.Packets))
+			len(s.tr.Packets)-s.consumed, len(s.tr.Packets))
 	}
 	if s.sampler != nil {
 		// Close the final partial window so short runs still get a point.
@@ -360,10 +463,18 @@ func (s *System) HandleEvent(e *sim.Engine, now sim.Time, payload uint64) {
 // total — an absent stage admits/misses/no-ops — so this path never
 // branches on which stages the configuration composed.
 func (s *System) arrival(e *sim.Engine, now sim.Time) {
-	if s.cursor >= len(s.tr.Packets) {
-		return // trace consumed; in-flight work drains the engine
+	if !s.curValid {
+		if s.srcDone {
+			return // source consumed; in-flight work drains the engine
+		}
+		pkt, ok := s.src.Next()
+		if !ok {
+			s.srcDone = true
+			return
+		}
+		s.cur, s.curValid = pkt, true
 	}
-	pkt := s.tr.Packets[s.cursor]
+	pkt := s.cur
 	if s.otr != nil {
 		// A slot offered to a packet whose earlier attempt was dropped is
 		// a retry; haveAttempt still holds from that first attempt.
@@ -371,7 +482,7 @@ func (s *System) arrival(e *sim.Engine, now sim.Time) {
 		if s.haveAttempt {
 			ev = "retry"
 		}
-		s.otr.Emit(obs.Event{T: int64(now), Ev: ev, SID: uint16(pkt.SID)})
+		s.otr.Emit(obs.Event{T: int64(now), Ev: ev, SID: uint32(pkt.SID)})
 	}
 	if !s.haveAttempt {
 		s.firstAttempt, s.haveAttempt = now, true
@@ -397,12 +508,13 @@ func (s *System) arrival(e *sim.Engine, now sim.Time) {
 	if !s.chain.Admit() {
 		s.drops.Inc()
 		if s.otr != nil {
-			s.otr.Emit(obs.Event{T: int64(now), Ev: "drop", SID: uint16(pkt.SID)})
+			s.otr.Emit(obs.Event{T: int64(now), Ev: "drop", SID: uint32(pkt.SID)})
 		}
 		e.ScheduleEvent(s.dt, s, evArrival<<32)
 		return
 	}
-	s.cursor++
+	s.curValid = false
+	s.consumed++
 	s.unmapApplied = false
 	started := s.firstAttempt
 	s.haveAttempt = false
@@ -442,7 +554,8 @@ func (s *System) arrival(e *sim.Engine, now sim.Time) {
 }
 
 func (s *System) acceptNative(e *sim.Engine, now sim.Time, pkt workload.Packet) {
-	s.cursor++
+	s.curValid = false
+	s.consumed++
 	s.unmapApplied = false
 	s.haveAttempt = false
 	s.requests.Add(workload.RequestsPerPacket)
@@ -526,7 +639,7 @@ func (s *System) Complete(e *sim.Engine, done sim.Time, ctxWord uint64) {
 // completion trace point.
 func (s *System) recordTenantLatency(sid mem.SID, done sim.Time, d sim.Duration) {
 	if s.otr != nil {
-		s.otr.Emit(obs.Event{T: int64(done), Ev: "complete", SID: uint16(sid), DurPs: int64(d)})
+		s.otr.Emit(obs.Event{T: int64(done), Ev: "complete", SID: uint32(sid), DurPs: int64(d)})
 	}
 	tl := &s.tenantLat[sid]
 	tl.sum += d

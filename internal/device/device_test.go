@@ -113,7 +113,7 @@ func TestPredictorHistoryLenRegister(t *testing.T) {
 	}
 }
 
-func key(sid mem.SID, tag uint64) tlb.Key { return tlb.Key{SID: uint16(sid), Tag: tag} }
+func key(sid mem.SID, tag uint64) tlb.Key { return tlb.Key{SID: uint32(sid), Tag: tag} }
 
 func TestPrefetchUnitLifecycle(t *testing.T) {
 	u := NewPrefetchUnit(PrefetchConfig{BufferEntries: 4, HistoryLen: 2, Degree: 2})

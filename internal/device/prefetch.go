@@ -140,7 +140,7 @@ func (u *PrefetchUnit) Invalidate(sid mem.SID, iova uint64, pageShift uint8) {
 // useful; dropping the marker lets the re-attached tenant prefetch
 // again). Returns how many buffer entries were dropped.
 func (u *PrefetchUnit) InvalidateSID(sid mem.SID) int {
-	n := u.buffer.InvalidateSID(uint16(sid))
+	n := u.buffer.InvalidateSID(uint32(sid))
 	u.predictor.Forget(sid)
 	delete(u.inflight, sid)
 	return n

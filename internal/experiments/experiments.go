@@ -49,6 +49,14 @@ type Options struct {
 	// lookahead. Sharding is an execution strategy, not a model change —
 	// rendered tables are byte-identical for every value.
 	Shards int
+	// Stream replays every queued cell through an online generator-backed
+	// source instead of a materialized trace (runner.Cell.Stream): memory
+	// stays O(tenants) per cell and rendered tables are byte-identical,
+	// since the stream and the constructed trace are the same generation
+	// path. Cells whose configuration requires the whole sequence up
+	// front (the Oracle policy) transparently fall back to the
+	// materialized path.
+	Stream bool
 	// Invariants composes the conservation-checking pipeline stage
 	// ("invariants") into every simulation cell. The checker is
 	// transparent — rendered tables are byte-identical with it on or
@@ -91,6 +99,7 @@ var All = []Experiment{
 	{"ext-isolation", "Extension: per-tenant latency fairness (isolation)", ExtIsolation},
 	{"ext-faults", "Extension: scripted invalidation-rate sweep (fault injection)", ExtFaults},
 	{"ext-churn", "Extension: tenant-churn sweep (fault injection)", ExtChurn},
+	{"ext-megatenant", "Extension: million-tenant scale-out with streaming sources", ExtMegaTenant},
 }
 
 // Lookup finds an experiment by ID.
@@ -176,7 +185,7 @@ func (s *sweep) sim(cfg core.Config, kind workload.Kind, tenants int, iv trace.I
 // simTrace queues one simulation of cfg over an explicit trace config
 // (used by the profile-override studies).
 func (s *sweep) simTrace(cfg core.Config, tc trace.Config) {
-	s.cells = append(s.cells, runner.Cell{Config: cfg, TraceConfig: tc})
+	s.cells = append(s.cells, runner.Cell{Config: cfg, TraceConfig: tc, Stream: s.o.Stream})
 }
 
 // run executes the queued cells and returns a cursor over the results in

@@ -123,7 +123,7 @@ func (in *Injector) emit(now sim.Time, ev string, sid mem.SID, iova uint64, shif
 	if in.tracer == nil {
 		return
 	}
-	rec := obs.Event{T: int64(now), Ev: ev, SID: uint16(sid), Shift: shift, N: n, DurPs: int64(d)}
+	rec := obs.Event{T: int64(now), Ev: ev, SID: uint32(sid), Shift: shift, N: n, DurPs: int64(d)}
 	if iova != 0 {
 		rec.IOVA = obs.Hex(iova)
 	}

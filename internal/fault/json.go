@@ -33,7 +33,7 @@ type retryDoc struct {
 type eventDoc struct {
 	AtNs   float64 `json:"at_ns"`
 	Kind   string  `json:"kind"`
-	SID    uint16  `json:"sid,omitempty"`
+	SID    uint32  `json:"sid,omitempty"`
 	IOVA   string  `json:"iova,omitempty"`
 	Shift  uint8   `json:"shift,omitempty"`
 	N      int     `json:"n,omitempty"`
@@ -108,7 +108,7 @@ func (p *Plan) WriteJSON(w io.Writer) error {
 		ed := eventDoc{
 			AtNs:   sim.Duration(ev.At).Nanoseconds(),
 			Kind:   ev.Kind.String(),
-			SID:    uint16(ev.SID),
+			SID:    uint32(ev.SID),
 			Shift:  ev.Shift,
 			N:      ev.N,
 			DurNs:  ev.Dur.Nanoseconds(),

@@ -46,7 +46,7 @@ type IOMMU struct {
 	cfg Config
 
 	ctxTable *mem.ContextTable
-	tenants  map[mem.SID]*mem.NestedTable
+	tenants  *mem.TenantTables
 
 	cc    *tlb.Cache
 	iotlb *tlb.Cache // nil when disabled
@@ -68,7 +68,7 @@ type IOMMU struct {
 
 // New builds the IOMMU. ctxTable must contain an entry for every SID that
 // will translate; tenants maps each SID to its nested page tables.
-func New(cfg Config, ctxTable *mem.ContextTable, tenants map[mem.SID]*mem.NestedTable) *IOMMU {
+func New(cfg Config, ctxTable *mem.ContextTable, tenants *mem.TenantTables) *IOMMU {
 	u := &IOMMU{
 		cfg:      cfg,
 		ctxTable: ctxTable,
@@ -106,11 +106,11 @@ type Result struct {
 // granule. The page-size class is folded into the tag's high bits so 4 KB
 // and 2 MB mappings never alias.
 func PageKey(sid mem.SID, iova uint64, pageShift uint8) tlb.Key {
-	return tlb.Key{SID: uint16(sid), Tag: iova>>pageShift | uint64(pageShift)<<56}
+	return tlb.Key{SID: uint32(sid), Tag: iova>>pageShift | uint64(pageShift)<<56}
 }
 
 func granuleKey(sid mem.SID, iova uint64, shift uint) tlb.Key {
-	return tlb.Key{SID: uint16(sid), Tag: iova >> shift}
+	return tlb.Key{SID: uint32(sid), Tag: iova >> shift}
 }
 
 // Translate resolves one gIOVA for sid. pageShift is the native page size
@@ -123,7 +123,7 @@ func (u *IOMMU) Translate(sid mem.SID, iova uint64, pageShift uint8, recordHisto
 	u.translations.Inc()
 
 	// Context lookup: SID -> page-table roots.
-	ccKey := tlb.Key{SID: uint16(sid)}
+	ccKey := tlb.Key{SID: uint32(sid)}
 	if _, ok := u.cc.Lookup(ccKey); ok {
 		res.CCHit = true
 	} else {
@@ -134,8 +134,8 @@ func (u *IOMMU) Translate(sid mem.SID, iova uint64, pageShift uint8, recordHisto
 		u.cc.Insert(tlb.Entry{Key: ccKey})
 	}
 
-	nt, ok := u.tenants[sid]
-	if !ok {
+	nt := u.tenants.Get(sid)
+	if nt == nil {
 		return res, fmt.Errorf("iommu: no nested table for SID %d", sid)
 	}
 
@@ -231,12 +231,12 @@ func (u *IOMMU) Invalidate(sid mem.SID, iova uint64, pageShift uint8) {
 // teardown (context-cache entry, IOTLB and walk-cache entries, and the
 // per-DID IOVA history). It returns how many cache entries were dropped.
 func (u *IOMMU) InvalidateSID(sid mem.SID) int {
-	n := u.cc.InvalidateSID(uint16(sid))
+	n := u.cc.InvalidateSID(uint32(sid))
 	if u.iotlb != nil {
-		n += u.iotlb.InvalidateSID(uint16(sid))
+		n += u.iotlb.InvalidateSID(uint32(sid))
 	}
-	n += u.l2pwc.InvalidateSID(uint16(sid))
-	n += u.l3pwc.InvalidateSID(uint16(sid))
+	n += u.l2pwc.InvalidateSID(uint32(sid))
+	n += u.l3pwc.InvalidateSID(uint32(sid))
 	u.history.DropSID(sid)
 	return n
 }

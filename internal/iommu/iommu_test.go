@@ -10,18 +10,18 @@ import (
 
 // buildTenants maps n tenants with the mediastream layout and returns the
 // pieces an IOMMU needs.
-func buildTenants(t *testing.T, n int, kind workload.Kind) (*mem.ContextTable, map[mem.SID]*mem.NestedTable, []*workload.AddressSpace) {
+func buildTenants(t *testing.T, n int, kind workload.Kind) (*mem.ContextTable, *mem.TenantTables, []*workload.AddressSpace) {
 	t.Helper()
 	host := mem.NewSpace("host", 0x1_0000_0000, 0)
 	ct := mem.NewContextTable()
-	tenants := make(map[mem.SID]*mem.NestedTable, n)
+	tenants := mem.NewTenantTables(mem.SID(n))
 	var spaces []*workload.AddressSpace
 	for i := 1; i <= n; i++ {
 		as, err := workload.BuildAddressSpace(workload.ProfileFor(kind), mem.SID(i), host, ct)
 		if err != nil {
 			t.Fatal(err)
 		}
-		tenants[mem.SID(i)] = as.Nested
+		tenants.Set(mem.SID(i), as.Nested)
 		spaces = append(spaces, as)
 	}
 	return ct, tenants, spaces

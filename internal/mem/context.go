@@ -7,22 +7,33 @@ import (
 
 // SID is a Source ID: the PCIe Bus/Device/Function identity of a tenant's
 // virtual function. The hypervisor assigns SIDs when a VF is attached, so
-// the translation hardware can key per-tenant state on it.
-type SID uint16
+// the translation hardware can key per-tenant state on it. 32 bits cover
+// the million-tenant regime the scale-out experiments model (real
+// hardware segments the ID space across IOMMUs at that scale).
+type SID uint32
 
 // ContextEntry is what the IOMMU's context table stores per SID: the
 // domain ID and the roots of the tenant's two translation dimensions.
 type ContextEntry struct {
-	DID       uint16 // domain (tenant) identifier configured by the host
+	DID       uint32 // domain (tenant) identifier configured by the host
 	GuestRoot Addr   // guest-physical address of the guest L4 table
 	HostRoot  Addr   // host-physical address of the host L4 table
 }
 
 // ContextTable is the in-memory structure the IOMMU consults on a context
 // cache miss. Reading an entry costs ReadAccesses memory accesses (the
-// VT-d root table plus the context table itself).
+// VT-d root table plus the context table itself). Entries live in a dense
+// SID-indexed array — SIDs are dense by construction (1..Tenants) — so a
+// lookup is one bounds check and one indexed load even at 10⁶ tenants.
 type ContextTable struct {
-	entries map[SID]ContextEntry
+	entries []ContextEntry // indexed by SID
+	present []bool
+	count   int
+
+	// sids caches the ascending-SID view SIDs() hands out; it is rebuilt
+	// lazily (sorted flag) only when entries were installed out of order.
+	sids   []SID
+	sorted bool
 }
 
 // ContextReadAccesses is the number of physical memory accesses one
@@ -32,32 +43,68 @@ const ContextReadAccesses = 2
 
 // NewContextTable returns an empty context table.
 func NewContextTable() *ContextTable {
-	return &ContextTable{entries: make(map[SID]ContextEntry)}
+	return &ContextTable{sorted: true}
+}
+
+// Reserve pre-sizes the table for SIDs up to maxSID, so dense
+// registration of large tenant populations does not pay repeated growth.
+func (ct *ContextTable) Reserve(maxSID SID) {
+	n := int(maxSID) + 1
+	if cap(ct.entries) < n {
+		entries := make([]ContextEntry, len(ct.entries), n)
+		copy(entries, ct.entries)
+		ct.entries = entries
+		present := make([]bool, len(ct.present), n)
+		copy(present, ct.present)
+		ct.present = present
+	}
+	if cap(ct.sids) < n-1 {
+		sids := make([]SID, len(ct.sids), n-1)
+		copy(sids, ct.sids)
+		ct.sids = sids
+	}
 }
 
 // Set installs or replaces the entry for sid.
-func (ct *ContextTable) Set(sid SID, e ContextEntry) { ct.entries[sid] = e }
+func (ct *ContextTable) Set(sid SID, e ContextEntry) {
+	for len(ct.entries) <= int(sid) {
+		ct.entries = append(ct.entries, ContextEntry{})
+		ct.present = append(ct.present, false)
+	}
+	ct.entries[sid] = e
+	if !ct.present[sid] {
+		ct.present[sid] = true
+		ct.count++
+		if n := len(ct.sids); n > 0 && ct.sids[n-1] > sid {
+			ct.sorted = false
+		}
+		ct.sids = append(ct.sids, sid)
+	}
+}
 
 // Lookup returns the entry for sid.
 func (ct *ContextTable) Lookup(sid SID) (ContextEntry, error) {
-	e, ok := ct.entries[sid]
-	if !ok {
-		return ContextEntry{}, fmt.Errorf("mem: no context entry for SID %#x", uint16(sid))
+	if int(sid) >= len(ct.entries) || !ct.present[sid] {
+		return ContextEntry{}, fmt.Errorf("mem: no context entry for SID %#x", uint32(sid))
 	}
-	return e, nil
+	return ct.entries[sid], nil
 }
 
 // Len reports the number of installed entries.
-func (ct *ContextTable) Len() int { return len(ct.entries) }
+func (ct *ContextTable) Len() int { return ct.count }
 
 // SIDs returns all installed SIDs in ascending order. The order is
 // pinned so that any consumer walking every tenant (sweeps, serializers,
 // future invalidate-all commands) is deterministic by construction.
+//
+// The returned slice is the table's cached view: callers must treat it
+// as read-only, and a later Set invalidates it. Registration is normally
+// already ascending, so repeated calls cost nothing beyond the first
+// out-of-order sort — no per-call copy or sort of a million-entry slice.
 func (ct *ContextTable) SIDs() []SID {
-	out := make([]SID, 0, len(ct.entries))
-	for sid := range ct.entries {
-		out = append(out, sid)
+	if !ct.sorted {
+		sort.Slice(ct.sids, func(i, j int) bool { return ct.sids[i] < ct.sids[j] })
+		ct.sorted = true
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return ct.sids
 }

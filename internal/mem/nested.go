@@ -104,7 +104,10 @@ func (nt *NestedTable) HostRoot() Addr { return nt.host.Root() }
 // host frame yet. Guest tables are created lazily by guest.Map, so this
 // runs after every MapIOVA.
 func (nt *NestedTable) adoptGuestTables() error {
-	for _, gpa := range nt.guestSpace.TableAddrs() {
+	// Iterate the registration-order slice directly: the guest bump
+	// allocator hands out ascending addresses, so the order matches the
+	// sorted TableAddrs() view without building a copy per MapIOVA.
+	for _, gpa := range nt.guestSpace.tableAddrs {
 		if _, ok := nt.guestFrames[gpa]; ok {
 			continue
 		}
@@ -115,7 +118,9 @@ func (nt *NestedTable) adoptGuestTables() error {
 		// Alias the guest table page's contents at its host-physical
 		// address so the nested walker can read guest entries through
 		// host physical memory, as real hardware does.
-		nt.hostSpace.tables[hpa] = nt.guestSpace.tables[gpa]
+		if err := nt.hostSpace.AliasTable(hpa, nt.guestSpace, gpa); err != nil {
+			return err
+		}
 		nt.guestFrames[gpa] = hpa
 	}
 	return nil

@@ -34,9 +34,6 @@ const (
 // physical or guest physical, depending on the Space it belongs to).
 type Addr uint64
 
-// table is one 4 KB page-table page: 512 64-bit entries.
-type table [EntriesPerTable]uint64
-
 // Page-table entry layout (a simplified x86-64 PTE):
 //
 //	bit 0      present
@@ -48,15 +45,70 @@ const (
 	pteAddrMask = ^uint64(PageSize - 1)
 )
 
+// Arena geometry. Table pages are fixed-size slots carved out of chunked
+// []uint64 backing arrays instead of individual heap objects: a slot id
+// resolves to (chunk, offset) by shifts, and a page-number directory maps
+// a table page's address to its slot. Chunks are kept small (8 tables,
+// 32 KB) so a Space holding only a handful of tables — every tenant's
+// guest space — wastes at most a fraction of one chunk.
+const (
+	tablesPerChunkShift = 3 // 8 table slots (32 KB) per arena chunk
+	tablesPerChunk      = 1 << tablesPerChunkShift
+	chunkWords          = tablesPerChunk * EntriesPerTable
+
+	// dirPageShift sizes one directory page: 256 page numbers, covering
+	// 1 MB of address space per 1 KB of directory.
+	dirPageShift = 8
+	dirPageLen   = 1 << dirPageShift
+
+	// extTag marks a directory entry that resolves into another Space's
+	// arena (an aliased table page — see AliasTable).
+	extTag = uint32(1) << 31
+)
+
+// dirPage is one leaf of the two-level page-number directory. Each entry
+// is 0 (not a table page) or a tagged slot reference + 1.
+type dirPage [dirPageLen]uint32
+
+// extRef records one aliased table: the directory entry points here, and
+// reads resolve into the source space's arena slot.
+type extRef struct {
+	src  *Space
+	slot uint32
+}
+
 // Space is a simulated physical address space: a bump allocator for frames
-// plus sparse storage for the page-table pages that live in it. Data
+// plus slab-arena storage for the page-table pages that live in it. Data
 // frames are allocated but not backed — the model never reads packet
 // payloads, only page-table pages.
 type Space struct {
-	name   string
-	next   Addr
-	limit  Addr
-	tables map[Addr]*table
+	name  string
+	next  Addr
+	limit Addr
+
+	// base is the address the bump allocator started at; the page-number
+	// directory is indexed relative to it.
+	base Addr
+
+	// arena holds table-page storage: fixed-size chunks of tablesPerChunk
+	// slots each. Slot n lives at arena[n>>tablesPerChunkShift], word
+	// offset (n & (tablesPerChunk-1)) * EntriesPerTable.
+	arena  [][]uint64
+	nSlots uint32
+
+	// dir maps page number (addr-base)>>PageShift to a tagged slot
+	// reference (+1; 0 = not a table page). Level 1 is a slice of leaf
+	// pages, allocated only where table pages actually live.
+	dir []*dirPage
+
+	// ext holds aliased-table references (tag extTag in dir entries).
+	ext []extRef
+
+	// tableAddrs records every registered table page in registration
+	// order; the bump allocator hands out ascending addresses, so the
+	// slice is normally already sorted (addrsSorted tracks the exception).
+	tableAddrs  []Addr
+	addrsSorted bool
 
 	// access statistics
 	reads  uint64
@@ -70,7 +122,7 @@ func NewSpace(name string, base, limit Addr) *Space {
 	if base%PageSize != 0 {
 		panic(fmt.Sprintf("mem: space %q base %#x not page aligned", name, base))
 	}
-	return &Space{name: name, next: base, limit: limit, tables: make(map[Addr]*table)}
+	return &Space{name: name, next: base, limit: limit, base: base, addrsSorted: true}
 }
 
 // Name returns the label the space was created with.
@@ -94,56 +146,147 @@ func (s *Space) AllocFrame(shift uint) Addr {
 	return base
 }
 
-// AllocTable reserves a 4 KB frame and registers it as a page-table page.
+// AllocTable reserves a 4 KB frame and registers it as a page-table page
+// backed by a fresh arena slot.
 func (s *Space) AllocTable() Addr {
 	base := s.AllocFrame(PageShift)
-	s.tables[base] = &table{}
+	slot := s.nSlots
+	s.nSlots++
+	if int(slot>>tablesPerChunkShift) == len(s.arena) {
+		s.arena = append(s.arena, make([]uint64, chunkWords))
+	}
+	s.register(base, slot+1)
 	return base
+}
+
+// AliasTable registers the table page at addr as an alias of the table at
+// srcAddr in space src: reads and writes through addr observe the source
+// table's storage. The nested walker uses it to expose guest table pages
+// through their host-physical frames, as real hardware does.
+func (s *Space) AliasTable(addr Addr, src *Space, srcAddr Addr) error {
+	v := src.dirLookup(srcAddr &^ (PageSize - 1))
+	if v == 0 {
+		return fmt.Errorf("mem: aliasing non-table address %#x in space %q", uint64(srcAddr), src.name)
+	}
+	slot := v - 1
+	if v&extTag != 0 {
+		// Chase one level: aliases always reference the owning arena.
+		e := src.ext[(v&^extTag)-1]
+		src, slot = e.src, e.slot
+	}
+	s.ext = append(s.ext, extRef{src: src, slot: slot})
+	s.register(addr&^(PageSize-1), uint32(len(s.ext))|extTag)
+	return nil
+}
+
+// register installs a tagged slot reference for the table page at base.
+func (s *Space) register(base Addr, v uint32) {
+	pn := uint64(base-s.base) >> PageShift
+	l1 := pn >> dirPageShift
+	for uint64(len(s.dir)) <= l1 {
+		s.dir = append(s.dir, nil)
+	}
+	if s.dir[l1] == nil {
+		s.dir[l1] = &dirPage{}
+	}
+	if s.dir[l1][pn&(dirPageLen-1)] != 0 {
+		panic(fmt.Sprintf("mem: table %#x registered twice in space %q", uint64(base), s.name))
+	}
+	s.dir[l1][pn&(dirPageLen-1)] = v
+	if n := len(s.tableAddrs); n > 0 && base < s.tableAddrs[n-1] {
+		s.addrsSorted = false
+	}
+	s.tableAddrs = append(s.tableAddrs, base)
+}
+
+// dirLookup returns the tagged slot reference for the table page at base,
+// or 0 if no table page is registered there.
+func (s *Space) dirLookup(base Addr) uint32 {
+	if base < s.base {
+		return 0
+	}
+	pn := uint64(base-s.base) >> PageShift
+	l1 := pn >> dirPageShift
+	if l1 >= uint64(len(s.dir)) || s.dir[l1] == nil {
+		return 0
+	}
+	return s.dir[l1][pn&(dirPageLen-1)]
+}
+
+// slotWords returns the storage of one owned arena slot.
+func (s *Space) slotWords(slot uint32) []uint64 {
+	off := int(slot&(tablesPerChunk-1)) * EntriesPerTable
+	return s.arena[slot>>tablesPerChunkShift][off : off+EntriesPerTable : off+EntriesPerTable]
+}
+
+// tableWords resolves the table page at base to its backing storage
+// (following one alias hop if needed), or nil when base is not a
+// registered table page. Resolution is pure arithmetic — two shifts and
+// two indexed loads — with no map in the path.
+func (s *Space) tableWords(base Addr) []uint64 {
+	v := s.dirLookup(base)
+	if v == 0 {
+		return nil
+	}
+	if v&extTag == 0 {
+		return s.slotWords(v - 1)
+	}
+	e := s.ext[(v&^extTag)-1]
+	return e.src.slotWords(e.slot)
 }
 
 // Allocated reports the next free address, i.e. the high-water mark.
 func (s *Space) Allocated() Addr { return s.next }
 
-// TableCount reports how many page-table pages live in the space.
-func (s *Space) TableCount() int { return len(s.tables) }
+// TableCount reports how many page-table pages live in the space
+// (aliased pages included).
+func (s *Space) TableCount() int { return len(s.tableAddrs) }
+
+// ArenaBytes reports the bytes of arena backing storage this space owns
+// (aliased tables are charged to their owning space). Directory and
+// bookkeeping overhead is excluded; it is bounded by one dirPage per
+// 1 MB of table-bearing address range.
+func (s *Space) ArenaBytes() uint64 {
+	return uint64(len(s.arena)) * chunkWords * 8
+}
 
 // ReadEntry reads the 8-byte entry at addr, which must fall inside a
 // registered table page.
 func (s *Space) ReadEntry(addr Addr) (uint64, error) {
 	base := addr &^ (PageSize - 1)
-	t, ok := s.tables[base]
-	if !ok {
+	w := s.tableWords(base)
+	if w == nil {
 		return 0, fmt.Errorf("mem: read of non-table address %#x in space %q", uint64(addr), s.name)
 	}
 	if addr%8 != 0 {
 		return 0, fmt.Errorf("mem: misaligned entry read %#x", uint64(addr))
 	}
 	s.reads++
-	return t[(addr-base)/8], nil
+	return w[(addr-base)/8], nil
 }
 
 // WriteEntry writes the 8-byte entry at addr inside a registered table page.
 func (s *Space) WriteEntry(addr Addr, v uint64) error {
 	base := addr &^ (PageSize - 1)
-	t, ok := s.tables[base]
-	if !ok {
+	w := s.tableWords(base)
+	if w == nil {
 		return fmt.Errorf("mem: write to non-table address %#x in space %q", uint64(addr), s.name)
 	}
 	if addr%8 != 0 {
 		return fmt.Errorf("mem: misaligned entry write %#x", uint64(addr))
 	}
 	s.writes++
-	t[(addr-base)/8] = v
+	w[(addr-base)/8] = v
 	return nil
 }
 
 // TableAddrs returns the sorted base addresses of all table pages;
 // used by tests and the trace serializer.
 func (s *Space) TableAddrs() []Addr {
-	out := make([]Addr, 0, len(s.tables))
-	for a := range s.tables {
-		out = append(out, a)
+	out := make([]Addr, len(s.tableAddrs))
+	copy(out, s.tableAddrs)
+	if !s.addrsSorted {
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }

@@ -34,7 +34,7 @@ const TraceSchema = "hypertrio-trace/1"
 type Event struct {
 	T     int64  `json:"t"`
 	Ev    string `json:"ev"`
-	SID   uint16 `json:"sid,omitempty"`
+	SID   uint32 `json:"sid,omitempty"`
 	IOVA  string `json:"iova,omitempty"`
 	Shift uint8  `json:"shift,omitempty"`
 	DurPs int64  `json:"dur_ps,omitempty"`

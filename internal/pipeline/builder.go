@@ -46,7 +46,7 @@ type Env struct {
 	// Ctx and Tenants are the context table and per-tenant nested page
 	// tables the chipset stage translates against.
 	Ctx     *mem.ContextTable
-	Tenants map[mem.SID]*mem.NestedTable
+	Tenants *mem.TenantTables
 	// OracleKeys supplies the flattened future access sequence for
 	// Belady-policy cache stages; consulted only when such a stage is in
 	// the spec. Nil leaves the future unset (Describe-only builds).

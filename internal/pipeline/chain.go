@@ -75,7 +75,7 @@ func (c *Chain) Lookup(e *sim.Engine, rq Request) bool {
 			c.probeServed[i].Inc()
 			if c.tracer != nil {
 				c.tracer.Emit(obs.Event{T: int64(e.Now()), Ev: c.probeHitEv[i],
-					SID: uint16(rq.SID), IOVA: obs.Hex(rq.IOVA), Shift: rq.Shift})
+					SID: uint32(rq.SID), IOVA: obs.Hex(rq.IOVA), Shift: rq.Shift})
 			}
 			if c.faults != nil {
 				c.faults.OnProbeHit(e.Now(), rq.SID, rq.IOVA, rq.Shift)
@@ -85,7 +85,7 @@ func (c *Chain) Lookup(e *sim.Engine, rq Request) bool {
 	}
 	if c.tracer != nil {
 		c.tracer.Emit(obs.Event{T: int64(e.Now()), Ev: missEvent,
-			SID: uint16(rq.SID), IOVA: obs.Hex(rq.IOVA), Shift: rq.Shift})
+			SID: uint32(rq.SID), IOVA: obs.Hex(rq.IOVA), Shift: rq.Shift})
 	}
 	return false
 }

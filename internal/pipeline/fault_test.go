@@ -57,12 +57,12 @@ func tenantEnv(t *testing.T) (Env, *workload.AddressSpace) {
 	t.Helper()
 	env := testEnv()
 	host := mem.NewSpace("host", 0x1_0000_0000, 0)
-	env.Tenants = map[mem.SID]*mem.NestedTable{}
+	env.Tenants = mem.NewTenantTables(1)
 	as, err := workload.BuildAddressSpace(workload.ProfileFor(workload.Iperf3), 1, host, env.Ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	env.Tenants[1] = as.Nested
+	env.Tenants.Set(1, as.Nested)
 	return env, as
 }
 

@@ -59,7 +59,7 @@ func (st *CacheStage) Invalidate(sid mem.SID, iova uint64, shift uint8) {
 	st.cache.Invalidate(iommu.PageKey(sid, iova, shift))
 }
 
-func (st *CacheStage) InvalidateSID(sid mem.SID) int { return st.cache.InvalidateSID(uint16(sid)) }
+func (st *CacheStage) InvalidateSID(sid mem.SID) int { return st.cache.InvalidateSID(uint32(sid)) }
 func (st *CacheStage) FlushAll() int                 { return st.cache.Flush() }
 
 func (st *CacheStage) Register(r *obs.Registry, p string) { st.cache.Register(r, p) }
@@ -127,9 +127,9 @@ type ChipsetStage struct {
 	pool    *WalkerPool
 	lat     Latencies
 	tracer  *obs.Tracer
-	faults  FaultHook // nil in every fault-free run
-	fills   []Stage   // device-side stages refilled by demand completions
-	walkers int       // configured cap (0 = unlimited), for Describe
+	faults  FaultHook   // nil in every fault-free run
+	fills   []Stage     // device-side stages refilled by demand completions
+	walkers int         // configured cap (0 = unlimited), for Describe
 	split   *chainSplit // non-nil when the stage runs in its own domain
 
 	walks []chipsetWalk // pooled in-flight miss records
@@ -215,7 +215,7 @@ func (st *ChipsetStage) HandleEvent(e *sim.Engine, now sim.Time, payload uint64)
 		w := &st.walks[idx]
 		if st.tracer != nil {
 			st.tracer.Emit(obs.Event{T: int64(now), Ev: "walk_end",
-				SID: uint16(w.rq.SID), IOVA: obs.Hex(w.rq.IOVA), DurPs: int64(w.walk)})
+				SID: uint32(w.rq.SID), IOVA: obs.Hex(w.rq.IOVA), DurPs: int64(w.walk)})
 		}
 		st.pool.Release(e)
 		if st.split != nil {
@@ -253,7 +253,7 @@ func (st *ChipsetStage) runWalk(e *sim.Engine, idx uint32) {
 			w.attempt++
 			if st.tracer != nil {
 				st.tracer.Emit(obs.Event{T: int64(e.Now()), Ev: "fault_retry",
-					SID: uint16(w.rq.SID), IOVA: obs.Hex(w.rq.IOVA), Shift: w.rq.Shift,
+					SID: uint32(w.rq.SID), IOVA: obs.Hex(w.rq.IOVA), Shift: w.rq.Shift,
 					N: int(w.attempt), DurPs: int64(retryIn)})
 			}
 			e.ScheduleEvent(retryIn, st, ckRetry<<32|uint64(idx))
@@ -273,7 +273,7 @@ func (st *ChipsetStage) runWalk(e *sim.Engine, idx uint32) {
 	w.hpaBase = res.HPA &^ (uint64(1)<<w.rq.Shift - 1)
 	if st.tracer != nil {
 		st.tracer.Emit(obs.Event{T: int64(e.Now()), Ev: "walk_start",
-			SID: uint16(w.rq.SID), IOVA: obs.Hex(w.rq.IOVA), Shift: w.rq.Shift, N: res.MemAccesses})
+			SID: uint32(w.rq.SID), IOVA: obs.Hex(w.rq.IOVA), Shift: w.rq.Shift, N: res.MemAccesses})
 	}
 	e.ScheduleEvent(walk, st, ckWalkEnd<<32|uint64(idx))
 	if sp := st.split; sp != nil {
@@ -375,7 +375,7 @@ func (st *HistoryReaderStage) Issue(e *sim.Engine, current mem.SID) {
 	}
 	triggered := e.Now()
 	if st.tracer != nil {
-		st.tracer.Emit(obs.Event{T: int64(triggered), Ev: "prefetch_issue", SID: uint16(target)})
+		st.tracer.Emit(obs.Event{T: int64(triggered), Ev: "prefetch_issue", SID: uint32(target)})
 	}
 	idx := st.alloc()
 	p := &st.prefs[idx]
@@ -397,7 +397,7 @@ func (st *HistoryReaderStage) HandleEvent(e *sim.Engine, now sim.Time, payload u
 		p := &st.prefs[idx]
 		if st.tracer != nil {
 			st.tracer.Emit(obs.Event{T: int64(now), Ev: "prefetch_fill",
-				SID: uint16(p.target), N: len(p.entries), DurPs: int64(now.Sub(p.triggered))})
+				SID: uint32(p.target), N: len(p.entries), DurPs: int64(now.Sub(p.triggered))})
 		}
 		// Report the observed trigger-to-fill latency in requests
 		// so the host can retune the history-length register.
@@ -415,7 +415,7 @@ func (st *HistoryReaderStage) RunWalk(e *sim.Engine, payload uint64) {
 	p.recent = st.mmu.History().AppendRecent(p.recent[:0], p.target, st.pu.Config().Degree)
 	if len(p.recent) == 0 {
 		if st.tracer != nil {
-			st.tracer.Emit(obs.Event{T: int64(e.Now()), Ev: "prefetch_abort", SID: uint16(p.target)})
+			st.tracer.Emit(obs.Event{T: int64(e.Now()), Ev: "prefetch_abort", SID: uint32(p.target)})
 		}
 		st.pu.Abort(p.target)
 		st.pool.Release(e)

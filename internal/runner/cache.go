@@ -24,6 +24,7 @@ type cacheKey struct {
 	interleave trace.Interleave
 	seed       int64
 	scale      float64
+	rng        workload.RNG
 	hasProfile bool
 	profile    workload.Profile
 }
@@ -35,6 +36,7 @@ func keyOf(c trace.Config) cacheKey {
 		interleave: c.Interleave,
 		seed:       c.Seed,
 		scale:      c.Scale,
+		rng:        c.RNG,
 	}
 	if c.Profile != nil {
 		k.hasProfile = true

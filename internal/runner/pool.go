@@ -23,6 +23,16 @@ type Cell struct {
 	// construction goes through the pool's cache, so cells sweeping the
 	// same trace config share one instance.
 	TraceConfig trace.Config
+	// Stream replays TraceConfig through an online generator-backed
+	// source instead of materializing the trace: memory stays O(tenants)
+	// regardless of trace length, which is what makes million-tenant
+	// cells feasible. The packet sequence is identical either way
+	// (Construct drains the same Stream). Ignored when Trace is set.
+	// Configurations that genuinely need the whole sequence up front —
+	// the Oracle replacement policy — fall back to the materialized cache
+	// path rather than failing, since the fallback costs exactly what
+	// streaming was avoiding only for those cells that cannot avoid it.
+	Stream bool
 }
 
 // Pool executes cells across a fixed number of worker goroutines. The
@@ -108,6 +118,17 @@ func (p Pool) runCell(c Cell) (res core.Result, err error) {
 	}()
 	tr := c.Trace
 	if tr == nil {
+		if c.Stream && !core.RequiresMaterialized(c.Config) {
+			src, err := trace.NewStream(c.TraceConfig)
+			if err != nil {
+				return core.Result{}, err
+			}
+			sys, err := core.NewSystemSource(c.Config, src)
+			if err != nil {
+				return core.Result{}, err
+			}
+			return sys.Run()
+		}
 		tr, err = p.cache().Get(c.TraceConfig)
 		if err != nil {
 			return core.Result{}, err

@@ -19,7 +19,7 @@ import (
 // Key identifies a cached translation: the requesting tenant's Source ID
 // and a tag (typically a virtual page number at the structure's granule).
 type Key struct {
-	SID uint16
+	SID uint32
 	Tag uint64
 }
 
@@ -295,7 +295,7 @@ func (c *Cache) Invalidate(key Key) bool {
 
 // InvalidateSID removes every entry belonging to sid (device detach /
 // domain flush) and returns how many were dropped.
-func (c *Cache) InvalidateSID(sid uint16) int {
+func (c *Cache) InvalidateSID(sid uint32) int {
 	n := 0
 	for si := range c.sets {
 		for wi := range c.sets[si] {

@@ -6,9 +6,9 @@ import (
 	"testing/quick"
 )
 
-func k(sid uint16, tag uint64) Key { return Key{SID: sid, Tag: tag} }
+func k(sid uint32, tag uint64) Key { return Key{SID: sid, Tag: tag} }
 
-func e(sid uint16, tag, val uint64) Entry {
+func e(sid uint32, tag, val uint64) Entry {
 	return Entry{Key: k(sid, tag), Value: val, PageShift: 12}
 }
 
@@ -206,7 +206,7 @@ func TestPropertyOracleOptimal(t *testing.T) {
 		n := 500
 		seq := make([]Key, n)
 		for i := range seq {
-			seq[i] = k(uint16(rng.Intn(3)), uint64(rng.Intn(20)))
+			seq[i] = k(uint32(rng.Intn(3)), uint64(rng.Intn(20)))
 		}
 		run := func(p PolicyKind) uint64 {
 			c := New(Config{Name: "t", Sets: 2, Ways: 3, Policy: p, Seed: 1})
@@ -322,7 +322,7 @@ func TestPropertyCapacityAndInclusion(t *testing.T) {
 		policy := PolicyKind(policyRaw % 4) // skip oracle (needs future)
 		c := New(Config{Name: "q", Sets: 4, Ways: 2, Policy: policy, Seed: 9})
 		for _, op := range ops {
-			key := k(uint16(op%5), uint64(op>>3)%32)
+			key := k(uint32(op%5), uint64(op>>3)%32)
 			if _, ok := c.Lookup(key); !ok {
 				c.Insert(Entry{Key: key, Value: uint64(op)})
 				if _, ok := c.Peek(key); !ok {
@@ -346,7 +346,7 @@ func TestPropertyStatsConsistent(t *testing.T) {
 	f := func(ops []uint16) bool {
 		c := New(Config{Name: "q", Sets: 2, Ways: 2, Policy: LFU})
 		for _, op := range ops {
-			key := k(uint16(op%3), uint64(op%17))
+			key := k(uint32(op%3), uint64(op%17))
 			if _, ok := c.Lookup(key); !ok {
 				c.Insert(Entry{Key: key})
 			}
@@ -411,7 +411,7 @@ func TestHashedIndexSpreadsTenants(t *testing.T) {
 	// With hashed indexing, the same tag from many tenants spreads over
 	// sets instead of piling into one row.
 	c := New(Config{Name: "h", Sets: 16, Ways: 1, Policy: LRU, Index: Hashed})
-	for sid := uint16(0); sid < 16; sid++ {
+	for sid := uint32(0); sid < 16; sid++ {
 		c.Insert(Entry{Key: Key{SID: sid, Tag: 0x34800}})
 	}
 	// A by-address cache would hold exactly 1 of these (all in one set);
@@ -420,7 +420,7 @@ func TestHashedIndexSpreadsTenants(t *testing.T) {
 		t.Fatalf("hashed index kept only %d of 16 same-tag entries", c.Len())
 	}
 	byAddr := New(Config{Name: "a", Sets: 16, Ways: 1, Policy: LRU, Index: ByAddress})
-	for sid := uint16(0); sid < 16; sid++ {
+	for sid := uint32(0); sid < 16; sid++ {
 		byAddr.Insert(Entry{Key: Key{SID: sid, Tag: 0x34800}})
 	}
 	if byAddr.Len() != 1 {

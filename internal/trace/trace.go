@@ -8,7 +8,6 @@ package trace
 
 import (
 	"fmt"
-	"math/rand"
 
 	"hypertrio/internal/mem"
 	"hypertrio/internal/workload"
@@ -149,6 +148,13 @@ type Config struct {
 	// Benchmark — the hook for user-defined workloads (e.g. a key-value
 	// store with small values, the paper's introductory motivation).
 	Profile *workload.Profile
+	// RNG selects the per-tenant random-source implementation.
+	// workload.StdRNG (the zero value) reproduces every golden sequence;
+	// workload.CompactRNG shrinks generator state ~60x for million-tenant
+	// streaming and draws different (still deterministic) sequences. The
+	// choice is part of a stream's identity but is not serialized: binary
+	// traces are always written from StdRNG constructions.
+	RNG workload.RNG
 }
 
 func (c Config) validate() error {
@@ -169,65 +175,33 @@ func (c Config) validate() error {
 // paper's edge-effect rule, which keeps every modeled tenant active for
 // the whole trace.
 func Construct(c Config) (*Trace, error) {
-	if err := c.validate(); err != nil {
+	// Construct is the materializing consumer of the online Stream: it
+	// drains the source into a packet slice. One generation path serves
+	// both modes, so a Stream and the materialized trace of the same
+	// Config agree bit-for-bit by construction.
+	src, err := NewStream(c)
+	if err != nil {
 		return nil, err
 	}
-	profile := workload.ProfileFor(c.Benchmark)
-	if c.Profile != nil {
-		profile = *c.Profile
-		if err := profile.Validate(); err != nil {
-			return nil, err
-		}
-	}
-	gens := make([]*workload.Generator, c.Tenants)
-	stats := make([]TenantStat, c.Tenants)
-	for i := 0; i < c.Tenants; i++ {
-		sid := mem.SID(i + 1)
-		gens[i] = workload.NewGenerator(profile, sid, c.Seed, c.Scale)
-		stats[i] = TenantStat{SID: sid, Budget: gens[i].Total()}
-	}
-
+	meta := src.Meta()
 	tr := &Trace{
-		Benchmark:  c.Benchmark,
-		Interleave: c.Interleave,
-		Tenants:    c.Tenants,
-		Seed:       c.Seed,
-		Scale:      c.Scale,
-		Profile:    profile,
+		Benchmark:  meta.Benchmark,
+		Interleave: meta.Interleave,
+		Tenants:    meta.Tenants,
+		Seed:       meta.Seed,
+		Scale:      meta.Scale,
+		Profile:    meta.Profile,
 	}
 	// Pre-size: the shortest budget bounds the trace length.
-	minBudget := stats[0].Budget
-	for _, s := range stats[1:] {
-		if s.Budget < minBudget {
-			minBudget = s.Budget
-		}
-	}
-	tr.Packets = make([]workload.Packet, 0, (minBudget/workload.RequestsPerPacket)*c.Tenants)
-
-	rng := rand.New(rand.NewSource(c.Seed ^ 0x7261_6e64))
-	cur := 0
-loop:
+	tr.Packets = make([]workload.Packet, 0, (src.MinBudget()/workload.RequestsPerPacket)*c.Tenants)
 	for {
-		switch c.Interleave.Kind {
-		case RoundRobin:
-			// cur advances below after the burst
-		case Random:
-			cur = rng.Intn(c.Tenants)
+		pkt, ok := src.Next()
+		if !ok {
+			break
 		}
-		for b := 0; b < c.Interleave.Burst; b++ {
-			pkt, ok := gens[cur].Next()
-			if !ok {
-				break loop // edge effect: first exhausted tenant ends the trace
-			}
-			tr.Packets = append(tr.Packets, pkt)
-			stats[cur].Packets++
-			stats[cur].Consumed += workload.RequestsPerPacket
-		}
-		if c.Interleave.Kind == RoundRobin {
-			cur = (cur + 1) % c.Tenants
-		}
+		tr.Packets = append(tr.Packets, pkt)
 	}
-	tr.Stats = stats
+	tr.Stats = src.TenantStats()
 	return tr, nil
 }
 

@@ -65,7 +65,7 @@ func BuildAddressSpaceLevels(p Profile, sid mem.SID, hostSpace *mem.Space, ct *m
 	}
 	if ct != nil {
 		ct.Set(sid, mem.ContextEntry{
-			DID:       uint16(sid),
+			DID:       uint32(sid),
 			GuestRoot: nt.GuestRoot(),
 			HostRoot:  nt.HostRoot(),
 		})

@@ -97,7 +97,7 @@ const (
 // the shared ring window, so distinct tenants frequently share the exact
 // address.
 func RingPageFor(sid mem.SID) uint64 {
-	return RingIOVA + uint64(uint16(sid)%RingSlots)*0x2000
+	return RingIOVA + uint64(sid%RingSlots)*0x2000
 }
 
 // MailboxFor returns the tenant's interrupt-mailbox page, adjacent to

@@ -1,0 +1,50 @@
+package workload
+
+import "math/rand"
+
+// RNG selects the random-source implementation backing a tenant's
+// generator. The choice changes the generated sequences, so it is part of
+// a trace's identity (internal/trace folds it into Config and the runner
+// cache key).
+type RNG uint8
+
+const (
+	// StdRNG is math/rand's default source — the sequences every golden
+	// experiment is pinned to. Its ~5 KB of state per generator is
+	// irrelevant up to tens of thousands of tenants.
+	StdRNG RNG = iota
+	// CompactRNG is an 8-byte splitmix64 source. At 10⁶ tenants the
+	// default source's state alone would cost ~5 GB; compact generators
+	// keep the whole tenant population in the hundreds of megabytes. Used
+	// by the megatenant scale-out experiments, never by the golden suite.
+	CompactRNG
+)
+
+// source builds a seeded rand source of the selected implementation.
+func (r RNG) source(seed int64) rand.Source {
+	if r == CompactRNG {
+		return newSplitMix64(seed)
+	}
+	return rand.NewSource(seed)
+}
+
+// splitMix64 is the SplitMix64 generator (Steele, Lea & Flood): one
+// 64-bit counter state, full 2⁶⁴ period, passes BigCrush. It implements
+// rand.Source64 so rand.New can drive Intn from it.
+type splitMix64 struct{ state uint64 }
+
+func newSplitMix64(seed int64) *splitMix64 {
+	return &splitMix64{state: uint64(seed)}
+}
+
+func (s *splitMix64) Uint64() uint64 {
+	s.state += 0x9E3779B97F4A7C15
+	z := s.state
+	z = (z ^ z>>30) * 0xBF58476D1CE4E5B9
+	z = (z ^ z>>27) * 0x94D049BB133111EB
+	return z ^ z>>31
+}
+
+func (s *splitMix64) Int63() int64 { return int64(s.Uint64() >> 1) }
+
+func (s *splitMix64) Seed(seed int64) { s.state = uint64(seed) }
