@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test golden mem-guard race race-obs race-fault race-shards cover cover-check fuzz-smoke vet lint bench-quick bench-obs bench-smoke bench-shards bench-json bench-mem smoke ci clean
+.PHONY: all build test golden mem-guard race race-obs race-fault race-shards cover cover-check fuzz-smoke vet lint bench-quick bench-obs bench-smoke bench-shards bench-json bench-mem bench-compare smoke ci clean
 
 all: build
 
@@ -16,9 +16,12 @@ test:
 
 # The race target doubles as the shared-trace immutability proof:
 # TestSharedTraceConcurrentRuns and the runner pool tests replay shared
-# traces from many goroutines under the race detector.
+# traces from many goroutines under the race detector. The raised
+# timeout covers internal/experiments, whose six quick-suite golden
+# generations run ~3 min each under -race on a single-core container —
+# past Go's default 10 m package budget without any test hanging.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 45m ./...
 
 # Observability-focused race pass: the obs package and engine-probe
 # tests (including the schema-stability goldens) plus the worker-pool
@@ -53,12 +56,14 @@ cover-check:
 	  || { echo "coverage $${total}% is below the $(COVER_FLOOR)% floor"; exit 1; }
 
 # Fuzz smoke: five seconds of coverage-guided fuzzing on each target
-# (the hardened binary-trace decoder and the SID predictor). The
-# committed seed corpora under testdata/fuzz/ also replay in every
-# ordinary `go test` run.
+# (the hardened binary-trace decoder, the SID predictor, and the
+# timing-wheel-vs-reference-heap scheduler equivalence). The committed
+# seed corpora under testdata/fuzz/ also replay in every ordinary
+# `go test` run.
 fuzz-smoke:
 	$(GO) test ./internal/trace -run '^$$' -fuzz FuzzReadBinary -fuzztime 5s
 	$(GO) test ./internal/device -run '^$$' -fuzz FuzzPredictor -fuzztime 5s
+	$(GO) test ./internal/sim -run '^$$' -fuzz FuzzEngineMatchesHeapRef -fuzztime 5s
 
 vet:
 	$(GO) vet ./...
@@ -113,10 +118,21 @@ bench-shards:
 	$(GO) test -bench 'BenchmarkEndToEnd/shards' -benchtime 1x -run '^$$' .
 
 # Machine-readable performance snapshot (ns/op, allocs/op, pkts/s and
-# the quick-suite wall time) written to BENCH_PR6.json. Pass
+# the quick-suite wall time) written to BENCH_PR9.json. Pass
 # BENCH_BASELINE=<file> to embed deltas against a previous snapshot.
 bench-json:
 	$(GO) run ./cmd/benchjson $(if $(BENCH_BASELINE),-baseline $(BENCH_BASELINE))
+
+# Regression gate: re-measure the hot-path benchmarks at a short
+# benchtime and diff them against the committed snapshot. The threshold
+# is deliberately generous — a 100ms benchtime trades precision for
+# speed, so this gate catches structural rot (an optimization wired out,
+# an alloc-free path regressing to allocation), not single-digit drift.
+BENCH_SNAPSHOT ?= BENCH_PR9.json
+BENCH_THRESHOLD ?= 0.5
+bench-compare:
+	$(GO) run ./cmd/benchjson -skip-suite -benchtime 100ms -o bench-compare.json
+	$(GO) run ./cmd/benchjson -compare -threshold $(BENCH_THRESHOLD) $(BENCH_SNAPSHOT) bench-compare.json
 
 # Memory-footprint snapshot (schema hypertrio-bench/2): streaming vs
 # materialized bytes/tenant and peak heap for the 10^5-tenant cell,
@@ -130,7 +146,7 @@ bench-mem:
 smoke:
 	$(GO) run ./cmd/experiments -quick -out results-smoke
 
-ci: build lint test golden mem-guard race race-obs race-fault race-shards cover-check fuzz-smoke bench-smoke bench-shards smoke
+ci: build lint test golden mem-guard race race-obs race-fault race-shards cover-check fuzz-smoke bench-smoke bench-shards bench-compare smoke
 
 clean:
-	rm -rf results-smoke cover.out
+	rm -rf results-smoke cover.out bench-compare.json

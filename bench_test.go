@@ -238,6 +238,37 @@ func BenchmarkEngineScheduleFire(b *testing.B) {
 	e.Run()
 }
 
+// BenchmarkEngineScheduleFirePending measures the schedule+fire cycle
+// against queue depth: the engine is pre-loaded with N far-future events
+// (parked in high wheel levels and the overflow heap) while the measured
+// loop schedules and fires near events. A comparison-based heap pays
+// O(log N) per operation here; the timing wheel's cost must stay flat
+// from 10^2 to 10^6 pending events.
+func BenchmarkEngineScheduleFirePending(b *testing.B) {
+	for _, pending := range []int{100, 10_000, 1_000_000} {
+		b.Run(fmt.Sprintf("pending=%d", pending), func(b *testing.B) {
+			e := sim.NewEngine()
+			nop := func(*sim.Engine, sim.Time) {}
+			for i := 0; i < pending; i++ {
+				// Spread the backlog across ~4 s of far future: many
+				// distinct slots across several wheel levels plus, at the
+				// 10^6 point, the beyond-horizon overflow heap.
+				e.Schedule(sim.Second+sim.Duration(i)*3*sim.Microsecond, nop)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.Schedule(sim.Duration(i%64)*sim.Nanosecond, nop)
+				if i%64 == 63 {
+					for j := 0; j < 64; j++ {
+						e.Step()
+					}
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkNestedWalk(b *testing.B) {
 	host := mem.NewSpace("host", 0x1_0000_0000, 0)
 	nt, err := mem.NewNestedTable("t", 0x40000000, host)

@@ -11,12 +11,22 @@
 // Comparing two snapshots is the intended workflow:
 //
 //	go run ./cmd/benchjson -o /tmp/before.json          # on the old tree
-//	go run ./cmd/benchjson -o BENCH_PR6.json \
+//	go run ./cmd/benchjson -o BENCH_PR9.json \
 //	    -baseline /tmp/before.json                      # on the new tree
 //
 // With -baseline the snapshot embeds per-benchmark ratios (speedup and
 // allocation reduction), so a committed BENCH_*.json documents not just
 // the numbers but the delta the change bought.
+//
+// -compare turns the command into a noise-aware regression gate over two
+// already-written snapshots:
+//
+//	benchjson -compare -threshold 0.15 BENCH_PR6.json new.json
+//
+// Every benchmark present in both files is reported with its ns/op
+// delta; a benchmark whose time grew (or whose allocs/op rose) by more
+// than -threshold counts as regressed and the exit status is nonzero,
+// so CI can gate on it directly.
 package main
 
 import (
@@ -25,6 +35,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/exec"
 	"regexp"
@@ -125,7 +136,7 @@ type Delta struct {
 
 func main() {
 	var (
-		out       = flag.String("o", "BENCH_PR6.json", "output path for the JSON snapshot")
+		out       = flag.String("o", "BENCH_PR9.json", "output path for the JSON snapshot")
 		benchRE   = flag.String("bench", defaultBench, "benchmark selection regexp passed to go test")
 		benchTime = flag.String("benchtime", "2s", "per-benchmark time passed to go test")
 		baseline  = flag.String("baseline", "", "previous snapshot to embed deltas against")
@@ -134,8 +145,27 @@ func main() {
 		mem       = flag.Bool("mem", false, "measure the streaming vs materialized memory footprint of a large-tenant cell")
 		memTen    = flag.Int("mem-tenants", 100_000, "tenant count for the -mem measurement")
 		memBudget = flag.Int("mem-budget", 3_000_000, "total packet budget for the -mem measurement")
+		compareTo = flag.Bool("compare", false, "diff two existing snapshots (benchjson -compare old.json new.json) instead of measuring; exits 1 when a benchmark regresses beyond -threshold")
+		threshold = flag.Float64("threshold", 0.10, "relative ns/op (or allocs/op) growth tolerated by -compare before a benchmark counts as regressed")
 	)
 	flag.Parse()
+
+	if *compareTo {
+		if flag.NArg() != 2 {
+			fatalf("-compare takes exactly two snapshot paths (old.json new.json), got %d", flag.NArg())
+		}
+		regressed, err := compareSnapshots(flag.Arg(0), flag.Arg(1), *threshold, os.Stdout)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if regressed {
+			os.Exit(1)
+		}
+		return
+	}
+	if flag.NArg() > 0 {
+		fatalf("unexpected arguments: %v", flag.Args())
+	}
 
 	snap := Snapshot{
 		Schema:     "hypertrio-bench/2",
@@ -395,23 +425,103 @@ func measureMemory(tenants, budget int) (*MemoryStats, error) {
 	return stats, nil
 }
 
+// loadSnapshot reads and schema-checks one snapshot file; both the /1
+// and /2 schemas are accepted.
+func loadSnapshot(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	switch snap.Schema {
+	case "hypertrio-bench/1", "hypertrio-bench/2":
+	default:
+		return nil, fmt.Errorf("%s: unsupported snapshot schema %q", path, snap.Schema)
+	}
+	return &snap, nil
+}
+
+// compareSnapshots diffs two snapshot files benchmark by benchmark and
+// writes a delta table to out. A benchmark regresses when its ns/op
+// grew by more than threshold relative to old, or when its allocs/op
+// rose both relatively beyond threshold and absolutely by at least one
+// allocation (so a 0→1 alloc leak on a pinned-zero path is caught, but
+// float noise around a large count is not). Benchmarks present in only
+// one file are listed as uncompared, not failed — a renamed benchmark
+// should not mask a real regression report behind a hard error.
+func compareSnapshots(oldPath, newPath string, threshold float64, out io.Writer) (regressed bool, err error) {
+	oldSnap, err := loadSnapshot(oldPath)
+	if err != nil {
+		return false, err
+	}
+	newSnap, err := loadSnapshot(newPath)
+	if err != nil {
+		return false, err
+	}
+	base := make(map[string]Benchmark, len(oldSnap.Benchmarks))
+	for _, b := range oldSnap.Benchmarks {
+		base[b.Name] = b
+	}
+	matched := map[string]bool{}
+	var failures []string
+	fmt.Fprintf(out, "comparing %s -> %s (threshold %.0f%%)\n", oldPath, newPath, threshold*100)
+	fmt.Fprintf(out, "%-52s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	for _, b := range newSnap.Benchmarks {
+		old, ok := base[b.Name]
+		if !ok || old.NsPerOp == 0 || b.NsPerOp == 0 {
+			continue
+		}
+		matched[b.Name] = true
+		rel := b.NsPerOp/old.NsPerOp - 1
+		verdict := ""
+		switch {
+		case rel > threshold:
+			verdict = "  REGRESSED"
+			failures = append(failures, fmt.Sprintf("%s: %.1f%% slower (%.0f -> %.0f ns/op)",
+				b.Name, rel*100, old.NsPerOp, b.NsPerOp))
+		case rel < -threshold:
+			verdict = "  improved"
+		}
+		fmt.Fprintf(out, "%-52s %14.0f %14.0f %+7.1f%%%s\n", b.Name, old.NsPerOp, b.NsPerOp, rel*100, verdict)
+		if grown := b.AllocsPerOp - old.AllocsPerOp; grown >= 1 && b.AllocsPerOp > old.AllocsPerOp*(1+threshold) {
+			failures = append(failures, fmt.Sprintf("%s: allocs/op grew %.1f -> %.1f",
+				b.Name, old.AllocsPerOp, b.AllocsPerOp))
+		}
+	}
+	var uncompared []string
+	for _, b := range oldSnap.Benchmarks {
+		if !matched[b.Name] {
+			uncompared = append(uncompared, b.Name)
+		}
+	}
+	if len(uncompared) > 0 {
+		fmt.Fprintf(out, "uncompared (baseline-only or zero-time): %s\n", strings.Join(uncompared, ", "))
+	}
+	if len(matched) == 0 {
+		return false, fmt.Errorf("no benchmark appears in both %s and %s", oldPath, newPath)
+	}
+	if len(failures) > 0 {
+		fmt.Fprintf(out, "\n%d regression(s) beyond the %.0f%% threshold:\n", len(failures), threshold*100)
+		for _, f := range failures {
+			fmt.Fprintf(out, "  %s\n", f)
+		}
+		return true, nil
+	}
+	fmt.Fprintf(out, "no regressions across %d benchmark(s)\n", len(matched))
+	return false, nil
+}
+
 // compare loads a previous snapshot and computes per-benchmark deltas
 // for every benchmark present in both. Baselines written by either the
 // /1 or the /2 schema are accepted; /1 files simply carry no memory
 // section, so the memory delta is omitted.
 func compare(path string, current []Benchmark, mem *MemoryStats) (*Comparison, error) {
-	data, err := os.ReadFile(path)
+	prev, err := loadSnapshot(path)
 	if err != nil {
 		return nil, err
-	}
-	var prev Snapshot
-	if err := json.Unmarshal(data, &prev); err != nil {
-		return nil, fmt.Errorf("parsing %s: %w", path, err)
-	}
-	switch prev.Schema {
-	case "hypertrio-bench/1", "hypertrio-bench/2":
-	default:
-		return nil, fmt.Errorf("%s: unsupported snapshot schema %q", path, prev.Schema)
 	}
 	base := make(map[string]Benchmark, len(prev.Benchmarks))
 	for _, b := range prev.Benchmarks {

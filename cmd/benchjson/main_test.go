@@ -1,0 +1,245 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeSnapshot marshals a snapshot to a temp file and returns the path.
+func writeSnapshot(t *testing.T, name string, snap Snapshot) string {
+	t.Helper()
+	data, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func snapWith(benches ...Benchmark) Snapshot {
+	return Snapshot{Schema: "hypertrio-bench/2", Benchmarks: benches}
+}
+
+func TestCompareSnapshotsVerdicts(t *testing.T) {
+	old := snapWith(
+		Benchmark{Name: "EndToEnd/base", NsPerOp: 1000, AllocsPerOp: 0},
+		Benchmark{Name: "EndToEnd/hypertrio", NsPerOp: 2000, AllocsPerOp: 5},
+		Benchmark{Name: "NestedWalk", NsPerOp: 100, AllocsPerOp: 0},
+	)
+	cases := []struct {
+		name      string
+		current   Snapshot
+		threshold float64
+		want      bool
+		wantOut   []string
+	}{
+		{
+			"unchanged is clean",
+			snapWith(
+				Benchmark{Name: "EndToEnd/base", NsPerOp: 1000},
+				Benchmark{Name: "EndToEnd/hypertrio", NsPerOp: 2000, AllocsPerOp: 5},
+				Benchmark{Name: "NestedWalk", NsPerOp: 100},
+			),
+			0.10, false,
+			[]string{"no regressions across 3 benchmark(s)"},
+		},
+		{
+			"slowdown beyond threshold regresses",
+			snapWith(Benchmark{Name: "EndToEnd/base", NsPerOp: 1200}),
+			0.10, true,
+			[]string{"REGRESSED", "20.0% slower"},
+		},
+		{
+			"slowdown within threshold tolerated",
+			snapWith(Benchmark{Name: "EndToEnd/base", NsPerOp: 1050}),
+			0.10, false,
+			[]string{"no regressions"},
+		},
+		{
+			"improvement is never a failure",
+			snapWith(Benchmark{Name: "EndToEnd/base", NsPerOp: 500}),
+			0.10, false,
+			[]string{"improved"},
+		},
+		{
+			"alloc growth on a zero-alloc path regresses",
+			snapWith(Benchmark{Name: "NestedWalk", NsPerOp: 100, AllocsPerOp: 2}),
+			0.10, true,
+			[]string{"allocs/op grew 0.0 -> 2.0"},
+		},
+		{
+			"sub-allocation float noise tolerated",
+			snapWith(Benchmark{Name: "EndToEnd/hypertrio", NsPerOp: 2000, AllocsPerOp: 5.4}),
+			0.10, false,
+			[]string{"no regressions"},
+		},
+		{
+			"baseline-only benchmarks listed as uncompared",
+			snapWith(Benchmark{Name: "EndToEnd/base", NsPerOp: 1000}),
+			0.10, false,
+			[]string{"uncompared", "EndToEnd/hypertrio", "NestedWalk"},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			oldPath := writeSnapshot(t, "old.json", old)
+			newPath := writeSnapshot(t, "new.json", c.current)
+			var out strings.Builder
+			got, err := compareSnapshots(oldPath, newPath, c.threshold, &out)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != c.want {
+				t.Errorf("regressed = %v, want %v\n%s", got, c.want, out.String())
+			}
+			for _, want := range c.wantOut {
+				if !strings.Contains(out.String(), want) {
+					t.Errorf("output lacks %q:\n%s", want, out.String())
+				}
+			}
+		})
+	}
+}
+
+func TestCompareSnapshotsErrors(t *testing.T) {
+	good := writeSnapshot(t, "good.json", snapWith(Benchmark{Name: "X", NsPerOp: 1}))
+	var out strings.Builder
+
+	if _, err := compareSnapshots(filepath.Join(t.TempDir(), "missing.json"), good, 0.1, &out); err == nil {
+		t.Error("missing old snapshot accepted")
+	}
+	if _, err := compareSnapshots(good, filepath.Join(t.TempDir(), "missing.json"), 0.1, &out); err == nil {
+		t.Error("missing new snapshot accepted")
+	}
+
+	badSchema := writeSnapshot(t, "bad.json", Snapshot{Schema: "hypertrio-bench/99"})
+	if _, err := compareSnapshots(badSchema, good, 0.1, &out); err == nil || !strings.Contains(err.Error(), "unsupported snapshot schema") {
+		t.Errorf("bad schema not rejected: %v", err)
+	}
+
+	disjoint := writeSnapshot(t, "disjoint.json", snapWith(Benchmark{Name: "Y", NsPerOp: 1}))
+	if _, err := compareSnapshots(disjoint, good, 0.1, &out); err == nil || !strings.Contains(err.Error(), "no benchmark appears in both") {
+		t.Errorf("disjoint snapshots not rejected: %v", err)
+	}
+}
+
+// TestCompareAcceptsSchemaV1 pins backward compatibility: PR-era /1
+// snapshots remain usable as the old side of a comparison.
+func TestCompareAcceptsSchemaV1(t *testing.T) {
+	old := writeSnapshot(t, "old.json", Snapshot{
+		Schema:     "hypertrio-bench/1",
+		Benchmarks: []Benchmark{{Name: "EndToEnd/base", NsPerOp: 1000}},
+	})
+	cur := writeSnapshot(t, "new.json", snapWith(Benchmark{Name: "EndToEnd/base", NsPerOp: 900}))
+	var out strings.Builder
+	regressed, err := compareSnapshots(old, cur, 0.1, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Fatalf("faster run reported as regression:\n%s", out.String())
+	}
+}
+
+// TestParseBenchOutputRoundTrip guards the parser the snapshot pipeline
+// and the compare gate both depend on.
+func TestParseBenchOutputRoundTrip(t *testing.T) {
+	raw := "goos: linux\n" +
+		"BenchmarkEndToEnd/base-8   \t      74\t  34874322 ns/op\t    106611 pkts/s\t 4520144 B/op\t   39013 allocs/op\n" +
+		"BenchmarkNestedWalk   \t 1000000\t      1042 ns/op\t       0 B/op\t       0 allocs/op\n" +
+		"PASS\n"
+	benches, err := parseBenchOutput(bytes.NewBufferString(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(benches) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(benches))
+	}
+	b := benches[0]
+	if b.Name != "EndToEnd/base" || b.GOMAXPROCS != 8 || b.NsPerOp != 34874322 ||
+		b.AllocsPerOp != 39013 || b.Metrics["pkts/s"] != 106611 {
+		t.Errorf("first benchmark parsed wrong: %+v", b)
+	}
+	if benches[1].Name != "NestedWalk" || benches[1].GOMAXPROCS != 1 || benches[1].Metrics != nil {
+		t.Errorf("second benchmark parsed wrong: %+v", benches[1])
+	}
+}
+
+// TestCompareBaselineDeltas covers the snapshot-embedding comparison
+// path (-baseline): speedups, alloc ratios including the zero-alloc
+// floor, metric ratios, and the memory delta.
+func TestCompareBaselineDeltas(t *testing.T) {
+	base := writeSnapshot(t, "base.json", Snapshot{
+		Schema: "hypertrio-bench/2",
+		Benchmarks: []Benchmark{
+			{Name: "EndToEnd/base", NsPerOp: 2000, AllocsPerOp: 10, Metrics: map[string]float64{"pkts/s": 100}},
+			{Name: "NestedWalk", NsPerOp: 100, AllocsPerOp: 4},
+			{Name: "OldOnly", NsPerOp: 50},
+		},
+		Memory: &MemoryStats{Tenants: 100, StreamingBytesPerTenant: 640, MaterializedBytesPerTenant: 2000},
+	})
+	current := []Benchmark{
+		{Name: "EndToEnd/base", NsPerOp: 1000, AllocsPerOp: 5, Metrics: map[string]float64{"pkts/s": 200}},
+		{Name: "NestedWalk", NsPerOp: 100}, // allocs dropped to zero
+		{Name: "NewOnly", NsPerOp: 10},
+	}
+	mem := &MemoryStats{Tenants: 100, StreamingBytesPerTenant: 320, MaterializedBytesPerTenant: 2000}
+	cmp, err := compare(base, current, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := cmp.Deltas["EndToEnd/base"]
+	if d.Speedup != 2 || d.AllocRatio != 2 || d.MetricRatios["pkts/s"] != 2 {
+		t.Errorf("EndToEnd delta wrong: %+v", d)
+	}
+	if got := cmp.Deltas["NestedWalk"].AllocRatio; got != 4 {
+		t.Errorf("zero-alloc floor ratio = %v, want the old count 4", got)
+	}
+	if _, ok := cmp.Deltas["OldOnly"]; ok {
+		t.Error("baseline-only benchmark got a delta")
+	}
+	if _, ok := cmp.Deltas["NewOnly"]; ok {
+		t.Error("current-only benchmark got a delta")
+	}
+	if cmp.Memory == nil || cmp.Memory.StreamingBytesPerTenantRatio != 2 {
+		t.Errorf("memory delta wrong: %+v", cmp.Memory)
+	}
+}
+
+// TestMemTraceConfig pins the -mem cell construction: the per-tenant
+// packet budget floors at 3 and the scale never exceeds 1.
+func TestMemTraceConfig(t *testing.T) {
+	tc := memTraceConfig(1000, 3_000_000)
+	if tc.Tenants != 1000 || tc.Scale > 1 || tc.Scale <= 0 {
+		t.Errorf("config wrong: %+v", tc)
+	}
+	tiny := memTraceConfig(1000, 10) // 10/1000 < 3 → floor
+	if tiny.Scale <= 0 || tiny.Scale > 1 {
+		t.Errorf("floored config wrong: %+v", tiny)
+	}
+	if tiny.Scale >= tc.Scale {
+		t.Errorf("floored budget should scale below the full budget: %v >= %v", tiny.Scale, tc.Scale)
+	}
+}
+
+// TestMeasureMemorySmall drives the streaming-vs-materialized footprint
+// measurement end to end at a tiny scale.
+func TestMeasureMemorySmall(t *testing.T) {
+	ms, err := measureMemory(64, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms.Tenants != 64 || ms.PacketsPerRun == 0 {
+		t.Errorf("stats wrong: %+v", ms)
+	}
+	if ms.PeakHeapSysBytes == 0 {
+		t.Error("peak heap not recorded")
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"hypertrio/internal/experiments"
+	"hypertrio/internal/profiling"
 	"hypertrio/internal/runner"
 	"hypertrio/internal/sim"
 )
@@ -42,6 +43,8 @@ type cliOptions struct {
 	sampleUs   int
 	invariants bool
 	list       bool
+	cpuProfile string
+	memProfile string
 
 	// parallelSet records whether -parallel was given explicitly, so
 	// -shards can shrink the worker default without silently overriding
@@ -64,6 +67,8 @@ func parseFlags(args []string, stderr io.Writer) (cliOptions, error) {
 	fs.IntVar(&o.sampleUs, "sample-us", 0, "emit per-cell time series sampled every N simulated µs under <out>/series/<id>/ (0 = off)")
 	fs.BoolVar(&o.invariants, "invariants", false, "compose the conservation-checking pipeline stage into every cell (transparent; violations fail the run)")
 	fs.BoolVar(&o.list, "list", false, "list experiments and exit")
+	fs.StringVar(&o.cpuProfile, "cpuprofile", "", "write a pprof CPU profile of the sweep to FILE")
+	fs.StringVar(&o.memProfile, "memprofile", "", "write a pprof heap profile (post-sweep, GC-settled) to FILE")
 	if err := fs.Parse(args); err != nil {
 		return o, err
 	}
@@ -124,11 +129,26 @@ func cliMain(args []string, stdout, stderr io.Writer) int {
 		}
 		return 0
 	}
-	if err := run(o, stdout); err != nil {
+	// Profiling brackets the whole sweep; output paths are validated here,
+	// before any experiment runs.
+	prof, err := profiling.Start(o.cpuProfile, o.memProfile)
+	if err != nil {
 		fmt.Fprintln(stderr, "experiments:", err)
 		return 1
 	}
-	return 0
+	defer prof.Finish() // backstop; Finish is idempotent
+	code := 0
+	if err := run(o, stdout); err != nil {
+		fmt.Fprintln(stderr, "experiments:", err)
+		code = 1
+	}
+	if err := prof.Finish(); err != nil {
+		fmt.Fprintln(stderr, "experiments:", err)
+		if code == 0 {
+			code = 1
+		}
+	}
+	return code
 }
 
 func main() {

@@ -187,6 +187,8 @@ func TestCLIExitCodes(t *testing.T) {
 		{"unknown experiment", []string{"-only", "fig99", "-quick"}, 1},
 		{"negative sample interval", []string{"-only", "table2", "-sample-us", "-1"}, 1},
 		{"negative shards", []string{"-only", "table2", "-shards", "-1"}, 1},
+		{"bad cpuprofile path", []string{"-only", "table2", "-quick", "-cpuprofile", "/nonexistent/dir/cpu.pprof"}, 1},
+		{"bad memprofile path", []string{"-only", "table2", "-quick", "-memprofile", "/nonexistent/dir/mem.pprof"}, 1},
 		{"list", []string{"-list"}, 0},
 	}
 	for _, c := range cases {
@@ -204,6 +206,29 @@ func TestCLIExitCodes(t *testing.T) {
 				t.Error("failure produced nothing on stderr")
 			}
 		})
+	}
+}
+
+// TestCLIProfilesWritten regenerates one quick experiment under both
+// profile flags and checks the pprof outputs exist and are non-empty.
+func TestCLIProfilesWritten(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	var stdout, stderr strings.Builder
+	args := []string{"-out", filepath.Join(dir, "out"), "-only", "table2", "-quick",
+		"-parallel", "1", "-cpuprofile", cpu, "-memprofile", mem}
+	if got := cliMain(args, &stdout, &stderr); got != 0 {
+		t.Fatalf("exit %d, stderr: %s", got, stderr.String())
+	}
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if fi.Size() == 0 {
+			t.Fatalf("%s is empty", p)
+		}
 	}
 }
 

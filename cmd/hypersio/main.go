@@ -36,6 +36,7 @@ import (
 	"hypertrio"
 	"hypertrio/internal/fault"
 	"hypertrio/internal/obs"
+	"hypertrio/internal/profiling"
 	"hypertrio/internal/sim"
 	"hypertrio/internal/stats"
 	"hypertrio/internal/tlb"
@@ -70,6 +71,9 @@ type options struct {
 	metricsFile  string // metrics snapshot + time series output
 	sampleUs     int
 	faultsFile   string // JSON fault plan input
+
+	cpuProfile string // pprof CPU profile output
+	memProfile string // pprof heap profile output
 }
 
 // parseFlags binds every flag to a fresh options value. Errors (and
@@ -105,6 +109,8 @@ func parseFlags(args []string, stderr io.Writer) (options, error) {
 	fs.StringVar(&o.metricsFile, "metrics", "", "write the metrics snapshot and time series to FILE (.json or .csv)")
 	fs.IntVar(&o.sampleUs, "sample-us", 10, "time-series sample interval in simulated µs (0 disables the series)")
 	fs.StringVar(&o.faultsFile, "faults", "", "load a JSON fault plan ("+fault.PlanSchema+") and apply it during the run")
+	fs.StringVar(&o.cpuProfile, "cpuprofile", "", "write a pprof CPU profile of the run to FILE")
+	fs.StringVar(&o.memProfile, "memprofile", "", "write a pprof heap profile (post-run, GC-settled) to FILE")
 	if err := fs.Parse(args); err != nil {
 		return o, err
 	}
@@ -126,11 +132,26 @@ func cliMain(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		return 2
 	}
-	if err := run(o, stdout); err != nil {
+	// Profiling brackets the whole run (trace construction included);
+	// output paths are validated here, before any simulation work.
+	prof, err := profiling.Start(o.cpuProfile, o.memProfile)
+	if err != nil {
 		fmt.Fprintln(stderr, "hypersio:", err)
 		return 1
 	}
-	return 0
+	defer prof.Finish() // backstop; Finish is idempotent
+	code := 0
+	if err := run(o, stdout); err != nil {
+		fmt.Fprintln(stderr, "hypersio:", err)
+		code = 1
+	}
+	if err := prof.Finish(); err != nil {
+		fmt.Fprintln(stderr, "hypersio:", err)
+		if code == 0 {
+			code = 1
+		}
+	}
+	return code
 }
 
 func main() {

@@ -332,6 +332,8 @@ func TestCLIExitCodes(t *testing.T) {
 		{"bad faults schema", append(small, "-faults", badPlan), 1},
 		{"describe", []string{"-describe"}, 0},
 		{"faulted run", append(small, "-faults", plan), 0},
+		{"bad cpuprofile path", append(small, "-cpuprofile", "/nonexistent/dir/cpu.pprof"), 1},
+		{"bad memprofile path", append(small, "-memprofile", "/nonexistent/dir/mem.pprof"), 1},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -343,6 +345,29 @@ func TestCLIExitCodes(t *testing.T) {
 				t.Error("failure produced nothing on stderr")
 			}
 		})
+	}
+}
+
+// TestCLIProfilesWritten runs a tiny simulation under both profile flags
+// and checks the pprof outputs exist and are non-empty. Bad paths are
+// covered by TestCLIExitCodes: they fail before any simulation work.
+func TestCLIProfilesWritten(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	var stdout, stderr strings.Builder
+	args := []string{"-tenants", "4", "-scale", "0.002", "-cpuprofile", cpu, "-memprofile", mem}
+	if got := cliMain(args, &stdout, &stderr); got != 0 {
+		t.Fatalf("exit %d, stderr: %s", got, stderr.String())
+	}
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if fi.Size() == 0 {
+			t.Fatalf("%s is empty", p)
+		}
 	}
 }
 

@@ -33,6 +33,13 @@ type Config struct {
 	// L3PWC caches partial walks at 1 GB granularity: (SID, iova>>30) ->
 	// host address of the guest L2 table.
 	L3PWC tlb.Config
+	// MemoEntries sizes the epoch-validated walk-memoization table that
+	// short-circuits repeated identical nested walks (a simulator
+	// optimization, not modeled hardware — replays charge exactly the
+	// accesses the real walk would have performed, so results are
+	// byte-identical either way). 0 selects DefaultMemoEntries; negative
+	// disables memoization; other values round up to a power of two.
+	MemoEntries int
 }
 
 // DefaultContextCache returns the context-cache geometry used by every
@@ -54,6 +61,10 @@ type IOMMU struct {
 	l3pwc *tlb.Cache
 
 	history *History
+
+	// memo short-circuits repeated identical nested walks; nil when
+	// disabled (Config.MemoEntries < 0). See memo.go.
+	memo *walkMemo
 
 	// walkBuf is the reused access scratch for one translation's nested
 	// walk: Translate only needs the access count, so the record slice is
@@ -77,6 +88,7 @@ func New(cfg Config, ctxTable *mem.ContextTable, tenants *mem.TenantTables) *IOM
 		l2pwc:    tlb.New(cfg.L2PWC),
 		l3pwc:    tlb.New(cfg.L3PWC),
 		history:  NewHistory(DefaultHistoryDepth),
+		memo:     newWalkMemo(cfg.MemoEntries),
 	}
 	if cfg.IOTLB.Sets > 0 {
 		u.iotlb = tlb.New(cfg.IOTLB)
@@ -157,20 +169,54 @@ func (u *IOMMU) Translate(sid mem.SID, iova uint64, pageShift uint8, recordHisto
 	// Page-walk caches: resume the two-dimensional walk as deep as
 	// possible. The L2 granule only caches a resume point for 4 KB
 	// mappings (for 2 MB pages the L2-granule object is the final
-	// translation itself, which lives in the IOTLB/DevTLB).
-	var walk mem.NestedResult
-	var err error
+	// translation itself, which lives in the IOTLB/DevTLB). The PWC
+	// lookups run before the memoization check because they mutate
+	// replacement state — a memoized translation must touch the cache
+	// model exactly as the real walk would.
 	u.walks.Inc()
+	startLevel := 0 // 0 = full walk
 	switch {
 	case pageShift == mem.PageShift && u.l2pwcHit(sid, iova):
 		res.PWCLevel = 2
+		startLevel = 1
+	case u.l3pwcHit(sid, iova):
+		res.PWCLevel = 3
+		startLevel = 2
+	}
+
+	// Memoized replay: an epoch-valid entry proves the tenant's tables
+	// are unchanged since the entry's walk, so the outcome — translation,
+	// access count for the chosen resume depth, install addresses — is
+	// replayed without touching the simulated tables.
+	if ent := u.memo.lookup(sid, iova>>mem.PageShift, nt); ent != nil {
+		replay := int(ent.total)
+		ok := true
+		switch startLevel {
+		case 1:
+			replay, ok = int(ent.suf1), ent.tbl1OK
+		case 2:
+			replay, ok = int(ent.suf2), ent.tbl2OK
+		}
+		if ok {
+			nt.ReplayReads(replay)
+			res.MemAccesses += replay
+			res.HPA = ent.hpa4k | iova&(mem.PageSize-1)
+			u.memAccesses.Add(uint64(res.MemAccesses))
+			u.install(sid, iova, pageShift, iotlbKey, res.HPA, ent.tbl1, ent.tbl2, ent.tbl1OK, ent.tbl2OK)
+			return res, nil
+		}
+	}
+
+	var walk mem.NestedResult
+	var err error
+	switch startLevel {
+	case 1:
 		tblHPA, terr := nt.TableHPA(iova, 1)
 		if terr != nil {
 			return res, terr
 		}
 		walk, err = nt.WalkFromInto(iova, 1, tblHPA, u.walkBuf[:0])
-	case u.l3pwcHit(sid, iova):
-		res.PWCLevel = 3
+	case 2:
 		tblHPA, terr := nt.TableHPA(iova, 2)
 		if terr != nil {
 			return res, terr
@@ -187,7 +233,17 @@ func (u *IOMMU) Translate(sid mem.SID, iova uint64, pageShift uint8, recordHisto
 	res.HPA = walk.HPA
 	u.memAccesses.Add(uint64(res.MemAccesses))
 
-	// Install what the walk learned.
+	// Install what the walk learned. A full walk memoizes its outcome
+	// and derives the L1/L2 resume addresses from its own access vector,
+	// which also spares the two silent re-walks the install path would
+	// otherwise perform; a partial (PWC-resumed) walk saw only a suffix,
+	// so it installs the old way and leaves the memo alone.
+	if startLevel == 0 && u.memo != nil {
+		if ent := u.memo.fill(sid, iova, nt, walk.Accesses, walk.HPA); ent != nil {
+			u.install(sid, iova, pageShift, iotlbKey, walk.HPA, ent.tbl1, ent.tbl2, ent.tbl1OK, ent.tbl2OK)
+			return res, nil
+		}
+	}
 	pageMask := uint64(1)<<pageShift - 1
 	if u.iotlb != nil {
 		u.iotlb.Insert(tlb.Entry{Key: iotlbKey, Value: walk.HPA &^ pageMask, PageShift: pageShift})
@@ -201,6 +257,23 @@ func (u *IOMMU) Translate(sid mem.SID, iova uint64, pageShift uint8, recordHisto
 		}
 	}
 	return res, nil
+}
+
+// install performs the post-walk cache installs from already-derived
+// resume addresses, sparing the silent table re-walks of the classic
+// install path. The insert set and values match it exactly: tbl2OK/tbl1OK
+// hold precisely when TableHPA(iova, 2)/TableHPA(iova, 1) would succeed.
+func (u *IOMMU) install(sid mem.SID, iova uint64, pageShift uint8, iotlbKey tlb.Key, hpa uint64, tbl1, tbl2 mem.Addr, tbl1OK, tbl2OK bool) {
+	if u.iotlb != nil {
+		pageMask := uint64(1)<<pageShift - 1
+		u.iotlb.Insert(tlb.Entry{Key: iotlbKey, Value: hpa &^ pageMask, PageShift: pageShift})
+	}
+	if tbl2OK {
+		u.l3pwc.Insert(tlb.Entry{Key: granuleKey(sid, iova, mem.GiantPageShift), Value: uint64(tbl2)})
+	}
+	if pageShift == mem.PageShift && tbl1OK {
+		u.l2pwc.Insert(tlb.Entry{Key: granuleKey(sid, iova, mem.HugePageShift), Value: uint64(tbl1)})
+	}
 }
 
 func (u *IOMMU) l2pwcHit(sid mem.SID, iova uint64) bool {
@@ -223,6 +296,7 @@ func (u *IOMMU) Invalidate(sid mem.SID, iova uint64, pageShift uint8) {
 	if pageShift == mem.PageShift {
 		u.l2pwc.Invalidate(granuleKey(sid, iova, mem.HugePageShift))
 	}
+	u.memo.bumpSID(sid)
 	u.history.Drop(sid, iova, pageShift)
 }
 
@@ -237,6 +311,7 @@ func (u *IOMMU) InvalidateSID(sid mem.SID) int {
 	}
 	n += u.l2pwc.InvalidateSID(uint32(sid))
 	n += u.l3pwc.InvalidateSID(uint32(sid))
+	u.memo.bumpSID(sid)
 	u.history.DropSID(sid)
 	return n
 }
@@ -251,6 +326,7 @@ func (u *IOMMU) FlushAll() int {
 	}
 	n += u.l2pwc.Flush()
 	n += u.l3pwc.Flush()
+	u.memo.bumpGlobal()
 	return n
 }
 

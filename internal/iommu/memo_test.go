@@ -1,0 +1,229 @@
+package iommu
+
+import (
+	"math/rand"
+	"testing"
+
+	"hypertrio/internal/mem"
+	"hypertrio/internal/workload"
+)
+
+// driveMemoDifferential builds two identical worlds — one IOMMU with
+// walk memoization at its default size, one with it disabled — and
+// drives both through the same randomized interleaving of translations,
+// mid-flight remaps, page/tenant invalidations, driver unmaps and global
+// flushes. Every translation must return an identical Result (HPA,
+// hit flags, PWC level, access count) and identical error disposition,
+// and the final Stats must match field for field: memoization is an
+// engine optimization, not a modeled structure, so it may never change
+// a single observable number.
+func driveMemoDifferential(t *testing.T, iotlbSets int, seed int64) {
+	t.Helper()
+	const nTenants = 3
+
+	ctM, tenantsM, spacesM := buildTenants(t, nTenants, workload.Mediastream)
+	uM := New(testConfig(iotlbSets), ctM, tenantsM)
+
+	ctU, tenantsU, spacesU := buildTenants(t, nTenants, workload.Mediastream)
+	cfgU := testConfig(iotlbSets)
+	cfgU.MemoEntries = -1
+	uU := New(cfgU, ctU, tenantsU)
+
+	rng := rand.New(rand.NewSource(seed))
+
+	// pick returns the same (iova, shift) against both worlds' layouts;
+	// the builds are deterministic, so the layouts agree.
+	pick := func(as *workload.AddressSpace) (uint64, uint8) {
+		switch rng.Intn(4) {
+		case 0:
+			return as.Ring + uint64(rng.Intn(mem.PageSize)), mem.PageShift
+		case 1:
+			return as.Mailbox + uint64(rng.Intn(mem.PageSize)), mem.PageShift
+		case 2:
+			j := rng.Intn(len(as.InitPages))
+			return as.InitPages[j] + uint64(rng.Intn(mem.PageSize)), mem.PageShift
+		default:
+			j := rng.Intn(len(as.DataPages))
+			return as.DataPages[j] + uint64(rng.Intn(mem.HugePageSize)), mem.HugePageShift
+		}
+	}
+
+	translate := func(sid mem.SID, iova uint64, shift uint8, op int) {
+		rM, errM := uM.Translate(sid, iova, shift, true)
+		rU, errU := uU.Translate(sid, iova, shift, true)
+		if (errM == nil) != (errU == nil) {
+			t.Fatalf("op %d: error disposition diverged: memo=%v uncached=%v", op, errM, errU)
+		}
+		if rM != rU {
+			t.Fatalf("op %d: SID %d iova %#x: memoized %+v, uncached %+v", op, sid, iova, rM, rU)
+		}
+	}
+
+	const ops = 4000
+	for op := 0; op < ops; op++ {
+		k := rng.Intn(nTenants)
+		asM, asU := spacesM[k], spacesU[k]
+		switch r := rng.Intn(20); {
+		case r < 14: // translate
+			iova, shift := pick(asM)
+			translate(asM.SID, iova, shift, op)
+		case r < 16: // mid-flight remap of a data page onto a fresh frame
+			j := rng.Intn(len(asM.DataPages))
+			iova := asM.DataPages[j]
+			if _, _, err := asM.Nested.MapIOVA(iova, mem.HugePageShift); err != nil {
+				t.Fatal(err)
+			}
+			if _, _, err := asU.Nested.MapIOVA(iova, mem.HugePageShift); err != nil {
+				t.Fatal(err)
+			}
+			// Half the remaps close the stale window immediately; the other
+			// half leave the chipset serving the old frame until the next
+			// invalidation — identically on both sides.
+			if rng.Intn(2) == 0 {
+				uM.Invalidate(asM.SID, iova, mem.HugePageShift)
+				uU.Invalidate(asU.SID, iova, mem.HugePageShift)
+			}
+			translate(asM.SID, iova+uint64(rng.Intn(mem.HugePageSize)), mem.HugePageShift, op)
+		case r < 17: // driver unmap + invalidation, then remap the page back
+			j := rng.Intn(len(asM.InitPages))
+			iova := asM.InitPages[j]
+			if _, err := asM.Nested.UnmapIOVA(iova, mem.PageShift); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := asU.Nested.UnmapIOVA(iova, mem.PageShift); err != nil {
+				t.Fatal(err)
+			}
+			uM.Invalidate(asM.SID, iova, mem.PageShift)
+			uU.Invalidate(asU.SID, iova, mem.PageShift)
+			// The unmapped page must fail (or stale-hit) identically.
+			translate(asM.SID, iova, mem.PageShift, op)
+			if _, _, err := asM.Nested.MapIOVA(iova, mem.PageShift); err != nil {
+				t.Fatal(err)
+			}
+			if _, _, err := asU.Nested.MapIOVA(iova, mem.PageShift); err != nil {
+				t.Fatal(err)
+			}
+			translate(asM.SID, iova, mem.PageShift, op)
+		case r < 19: // tenant teardown
+			nM := uM.InvalidateSID(asM.SID)
+			nU := uU.InvalidateSID(asU.SID)
+			if nM != nU {
+				t.Fatalf("op %d: InvalidateSID dropped %d vs %d entries", op, nM, nU)
+			}
+		default: // global flush
+			nM := uM.FlushAll()
+			nU := uU.FlushAll()
+			if nM != nU {
+				t.Fatalf("op %d: FlushAll dropped %d vs %d entries", op, nM, nU)
+			}
+		}
+	}
+
+	if sM, sU := uM.Stats(), uU.Stats(); sM != sU {
+		t.Fatalf("final stats diverged:\nmemoized: %+v\nuncached: %+v", sM, sU)
+	}
+	ms := uM.MemoStats()
+	if !ms.Enabled || ms.Fills == 0 {
+		t.Fatalf("memoized run never exercised the memo: %+v", ms)
+	}
+	if iotlbSets == 0 && ms.Hits == 0 {
+		// Without an IOTLB every repeat translation reaches the memo, so a
+		// hit-free run means the epochs never validated anything. (With an
+		// IOTLB in front, repeat walks of one page mostly follow an
+		// invalidation — which bumps the epoch — so hits are legitimately
+		// scarce there.)
+		t.Fatalf("IOTLB-less memoized run never hit the memo: %+v", ms)
+	}
+	if uU.MemoStats().Enabled {
+		t.Fatal("MemoEntries=-1 did not disable memoization")
+	}
+}
+
+// TestMemoMatchesUncachedUnderMutation: no IOTLB in front, so every
+// translation reaches the walk path and the memo is consulted (and must
+// revalidate) on each one.
+func TestMemoMatchesUncachedUnderMutation(t *testing.T) {
+	driveMemoDifferential(t, 0, 1)
+}
+
+// TestMemoMatchesUncachedWithIOTLB: with an IOTLB in front the memo only
+// sees that cache's misses, and invalidations must keep all three layers
+// (IOTLB, PWCs, memo) mutually coherent.
+func TestMemoMatchesUncachedWithIOTLB(t *testing.T) {
+	driveMemoDifferential(t, 8, 2)
+}
+
+// TestMemoEpochInvalidation pins the three invalidation channels one by
+// one: a table mutation (epoch), a per-SID invalidation and a global
+// flush must each kill a memoized walk, while an unrelated tenant's
+// mutation must not.
+func TestMemoEpochInvalidation(t *testing.T) {
+	ct, tenants, spaces := buildTenants(t, 2, workload.Mediastream)
+	u := New(testConfig(0), ct, tenants) // no IOTLB: every translate consults the memo
+	a, b := spaces[0], spaces[1]
+
+	warm := func(as *workload.AddressSpace) MemoStats {
+		t.Helper()
+		if _, err := u.Translate(as.SID, as.Ring, mem.PageShift, true); err != nil {
+			t.Fatal(err)
+		}
+		return u.MemoStats()
+	}
+	// refill restores a fresh, valid memo entry for as.Ring: the flush
+	// empties the PWCs (a PWC-resumed rewalk never refills the memo — only
+	// a full walk does), so the next translate is a full walk that fills.
+	refill := func(as *workload.AddressSpace) {
+		t.Helper()
+		u.FlushAll()
+		before := u.MemoStats()
+		after := warm(as)
+		if after.Fills != before.Fills+1 {
+			t.Fatalf("full walk after flush did not refill: %+v -> %+v", before, after)
+		}
+	}
+	expect := func(as *workload.AddressSpace, what string, hit bool) {
+		t.Helper()
+		before := u.MemoStats()
+		after := warm(as)
+		if hit && after.Hits != before.Hits+1 {
+			t.Fatalf("%s: expected a memo hit: %+v -> %+v", what, before, after)
+		}
+		if !hit && after.Misses != before.Misses+1 {
+			t.Fatalf("%s: expected a memo miss: %+v -> %+v", what, before, after)
+		}
+	}
+
+	warm(a) // first full walk fills
+	expect(a, "steady state", true)
+	expect(a, "steady state", true)
+
+	// Channel 1: a table mutation anywhere in tenant A's tables (a map of
+	// an otherwise-unused gIOVA region) advances A's table epoch.
+	if _, _, err := a.Nested.MapIOVA(0x1000_0000, mem.PageShift); err != nil {
+		t.Fatal(err)
+	}
+	expect(a, "table mutation", false)
+
+	// An unrelated tenant's mutation must NOT invalidate A's entry.
+	refill(a)
+	if _, _, err := b.Nested.MapIOVA(0x1000_0000, mem.PageShift); err != nil {
+		t.Fatal(err)
+	}
+	expect(a, "unrelated tenant's mutation", true)
+
+	// Channel 2: per-SID invalidation.
+	u.InvalidateSID(a.SID)
+	expect(a, "InvalidateSID", false)
+
+	// ...which must not have touched tenant B either.
+	refill(b)
+	u.InvalidateSID(a.SID)
+	expect(b, "other tenant's InvalidateSID", true)
+
+	// Channel 3: a global flush kills every tenant's entries.
+	refill(a)
+	refill(b)
+	u.FlushAll()
+	expect(a, "FlushAll (tenant A)", false)
+	expect(b, "FlushAll (tenant B)", false)
+}

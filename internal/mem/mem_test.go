@@ -566,3 +566,50 @@ func TestNestedUnmapRemap(t *testing.T) {
 		t.Fatalf("remap GPA %#x", res.GPA)
 	}
 }
+
+// TestMutationEpoch pins the counters the IOMMU's walk-memoization
+// layer keys its validity checks on: every mutation path through either
+// walk dimension strictly increases Epoch, and ReplayReads charges host
+// reads without touching a table page.
+func TestMutationEpoch(t *testing.T) {
+	host := NewSpace("host", 0x1_0000_0000, 0)
+	nt, err := NewNestedTable("t", 0x40000000, host)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e0 := nt.Epoch()
+	gpa, _, err := nt.MapIOVA(0x1000_0000, PageShift)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1 := nt.Epoch()
+	if e1 <= e0 {
+		t.Fatalf("MapIOVA did not advance the epoch: %d -> %d", e0, e1)
+	}
+	if g := nt.Guest().Mutations(); g == 0 {
+		t.Fatal("guest table reports zero mutations after MapIOVA")
+	}
+	if _, err := nt.UnmapIOVA(0x1000_0000, PageShift); err != nil {
+		t.Fatal(err)
+	}
+	e2 := nt.Epoch()
+	if e2 <= e1 {
+		t.Fatalf("UnmapIOVA did not advance the epoch: %d -> %d", e1, e2)
+	}
+	if err := nt.RemapIOVA(0x1000_0000, gpa, PageShift); err != nil {
+		t.Fatal(err)
+	}
+	if nt.Epoch() <= e2 {
+		t.Fatalf("RemapIOVA did not advance the epoch: %d -> %d", e2, nt.Epoch())
+	}
+
+	// ReplayReads is pure accounting: read counter moves, epoch does not.
+	before, eBefore := host.Reads(), nt.Epoch()
+	nt.ReplayReads(24)
+	if host.Reads() != before+24 {
+		t.Fatalf("ReplayReads(24) moved reads %d -> %d", before, host.Reads())
+	}
+	if nt.Epoch() != eBefore {
+		t.Fatal("ReplayReads changed the epoch")
+	}
+}

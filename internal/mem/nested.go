@@ -262,6 +262,25 @@ func (nt *NestedTable) TableHPA(iova uint64, level int) (Addr, error) {
 	return Addr(hostRes.PA), nil
 }
 
+// Epoch summarizes the mutation state of both walk dimensions. The two
+// mutation counters only grow, so any Map/Unmap against either table —
+// driver unmaps, fault-plan remaps, lazy table adoption — strictly
+// increases the epoch, and an equal snapshot proves every walk through
+// this table still returns exactly what it returned when the snapshot
+// was taken. The IOMMU's walk-memoization layer keys its validity checks
+// on it.
+func (nt *NestedTable) Epoch() uint64 {
+	return nt.guest.mutations + nt.host.mutations
+}
+
+// ReplayReads charges n entry reads to host physical memory without
+// touching any table page — the accounting half of replaying a memoized
+// walk, which must leave the read counters exactly as the real walk
+// would have.
+func (nt *NestedTable) ReplayReads(n int) {
+	nt.hostSpace.reads += uint64(n)
+}
+
 // UnmapIOVA removes the guest mapping for iova (driver unmap). The
 // guest-physical frame stays host-mapped: only the gIOVA becomes
 // untranslatable until the driver maps it again.

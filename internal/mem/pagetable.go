@@ -12,6 +12,11 @@ type PageTable struct {
 	space  *Space
 	root   Addr
 	levels int
+
+	// mutations counts Map/Unmap calls. It only ever grows, so an equal
+	// snapshot proves the table is unchanged — the validity check behind
+	// the IOMMU's walk-memoization layer (see NestedTable.Epoch).
+	mutations uint64
 }
 
 // NewPageTable allocates a root table page in space for a 4-level table.
@@ -35,6 +40,10 @@ func (pt *PageTable) Levels() int { return pt.levels }
 
 // Space returns the address space the table pages live in.
 func (pt *PageTable) Space() *Space { return pt.space }
+
+// Mutations returns the monotone count of Map/Unmap calls against this
+// table. Cached walk results snapshot it and revalidate by equality.
+func (pt *PageTable) Mutations() uint64 { return pt.mutations }
 
 // levelShift returns the VA shift for a level (4 -> 39, 3 -> 30, 2 -> 21, 1 -> 12).
 func levelShift(level int) uint { return uint(PageShift + 9*(level-1)) }
@@ -67,6 +76,7 @@ func (pt *PageTable) Map(va, pa uint64, pageShift uint) error {
 	if err != nil {
 		return err
 	}
+	pt.mutations++
 	mask := uint64(1)<<pageShift - 1
 	if va&mask != 0 {
 		return fmt.Errorf("mem: va %#x not aligned to %d-byte page", va, 1<<pageShift)
@@ -173,6 +183,7 @@ func (pt *PageTable) Unmap(va uint64, pageShift uint) (bool, error) {
 	if err != nil {
 		return false, err
 	}
+	pt.mutations++
 	mask := uint64(1)<<pageShift - 1
 	if va&mask != 0 {
 		return false, fmt.Errorf("mem: unmap va %#x not aligned to %d-byte page", va, 1<<pageShift)

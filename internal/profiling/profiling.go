@@ -1,0 +1,81 @@
+// Package profiling wraps runtime/pprof for the repository's CLIs: one
+// Start/Finish pair gives a command -cpuprofile/-memprofile behaviour
+// consistent with `go test`, with the output paths validated up front so
+// a typo fails before minutes of simulation, not after.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Session holds the open profile outputs of one CLI run. The zero-value
+// (from Start with two empty paths) is inert: Finish is a no-op.
+type Session struct {
+	cpu *os.File
+	mem *os.File
+}
+
+// Start opens the requested profile outputs and begins CPU profiling.
+// Both files are created immediately — an unwritable path is reported
+// here, before the profiled work starts — but the heap profile itself is
+// only written by Finish, after the work it should describe.
+func Start(cpuPath, memPath string) (*Session, error) {
+	s := &Session{}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+		s.cpu = f
+	}
+	if memPath != "" {
+		f, err := os.Create(memPath)
+		if err != nil {
+			s.stopCPU()
+			return nil, fmt.Errorf("-memprofile: %w", err)
+		}
+		s.mem = f
+	}
+	return s, nil
+}
+
+func (s *Session) stopCPU() {
+	if s.cpu != nil {
+		pprof.StopCPUProfile()
+		s.cpu.Close()
+		s.cpu = nil
+	}
+}
+
+// Finish stops the CPU profile and writes the heap profile (after a
+// final GC, so the numbers reflect live memory rather than garbage).
+// It is idempotent: a deferred Finish after an explicit one is a no-op.
+func (s *Session) Finish() error {
+	var firstErr error
+	if s.cpu != nil {
+		pprof.StopCPUProfile()
+		if err := s.cpu.Close(); err != nil {
+			firstErr = fmt.Errorf("-cpuprofile: %w", err)
+		}
+		s.cpu = nil
+	}
+	if s.mem != nil {
+		runtime.GC()
+		err := pprof.WriteHeapProfile(s.mem)
+		if cerr := s.mem.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("-memprofile: %w", err)
+		}
+		s.mem = nil
+	}
+	return firstErr
+}

@@ -1,0 +1,71 @@
+package profiling
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestStartFinishWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	s, err := Start(cpu, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Some sampled work so the CPU profile is plausible, then finish.
+	x := 0
+	for i := 0; i < 1_000_000; i++ {
+		x += i
+	}
+	_ = x
+	if err := s.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if fi.Size() == 0 {
+			t.Fatalf("%s is empty", p)
+		}
+	}
+	// Idempotent: a second Finish (the deferred-backstop pattern) is a no-op.
+	if err := s.Finish(); err != nil {
+		t.Fatalf("second Finish: %v", err)
+	}
+}
+
+func TestStartValidatesPathsUpFront(t *testing.T) {
+	if _, err := Start(filepath.Join(t.TempDir(), "no", "such", "dir", "cpu.pprof"), ""); err == nil {
+		t.Fatal("bad -cpuprofile path accepted")
+	}
+	if _, err := Start("", filepath.Join(t.TempDir(), "no", "such", "dir", "mem.pprof")); err == nil {
+		t.Fatal("bad -memprofile path accepted")
+	}
+	// A bad mem path must also unwind an already-started CPU profile so
+	// the caller can retry (StartCPUProfile fails if one is active).
+	cpu := filepath.Join(t.TempDir(), "cpu.pprof")
+	if _, err := Start(cpu, filepath.Join(t.TempDir(), "no", "mem.pprof")); err == nil {
+		t.Fatal("bad -memprofile path accepted alongside a valid -cpuprofile")
+	}
+	s, err := Start(cpu, "")
+	if err != nil {
+		t.Fatalf("CPU profiling not unwound after a failed Start: %v", err)
+	}
+	if err := s.Finish(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptySessionIsInert(t *testing.T) {
+	s, err := Start("", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Finish(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -41,14 +41,7 @@ func (e *Engine) Deliver(m Msg) {
 	}
 	e.msgs[midx] = m
 
-	var idx uint32
-	if n := len(e.free); n > 0 {
-		idx = e.free[n-1]
-		e.free = e.free[:n-1]
-	} else {
-		e.slab = append(e.slab, eventRec{})
-		idx = uint32(len(e.slab) - 1)
-	}
+	idx := e.allocRec()
 	rec := &e.slab[idx]
 	rec.at = m.At
 	rec.seq = m.Seq
@@ -60,7 +53,7 @@ func (e *Engine) Deliver(m Msg) {
 	rec.state = recQueued
 	e.live++
 	e.deliveries++
-	e.heapPush(idx)
+	e.enqueue(idx)
 	if e.probe != nil {
 		e.probe.OnSchedule(m.At, m.Seq, "")
 	}

@@ -1,0 +1,264 @@
+package sim
+
+import (
+	"testing"
+)
+
+// These tests pin the timing-wheel internals through the public API at
+// the geometry's seams: same-timestamp events that land in different
+// wheel levels because they were inserted at different cursor positions,
+// slot recycling of a record that migrated between levels before being
+// cancelled, and RunUntil deadlines that sit exactly on slot and horizon
+// boundaries.
+
+// claimingSink records cross-domain deliveries in fire order, reclaiming
+// the parked message as the Deliver contract requires.
+type claimingSink struct{ seqs []uint64 }
+
+func (s *claimingSink) HandleEvent(e *Engine, _ Time, payload uint64) {
+	m := e.ClaimMsg(payload)
+	s.seqs = append(s.seqs, m.Seq)
+}
+
+// TestWheelSameTickOrderAcrossLevels schedules three events for one
+// absolute timestamp from three different cursor positions, so they
+// enter the structure at three different places — a level-2 slot, a
+// level-1 slot and the ready heap — plus a cross-domain delivery with a
+// non-zero domain tag. All four must still fire in (at, dom, seq) order.
+func TestWheelSameTickOrderAcrossLevels(t *testing.T) {
+	e := NewEngine()
+	const T = Time(0x1040) // diverges from cursor 0 at bit 12: level 2
+
+	var order []string
+	at := func(name string) Handler {
+		return func(_ *Engine, now Time) {
+			if now != T {
+				t.Fatalf("%s fired at %v, want %v", name, now, T)
+			}
+			order = append(order, name)
+		}
+	}
+
+	// seq 0, inserted with cur=0: level 2.
+	if _, err := e.ScheduleAt(T, at("lvl2")); err != nil {
+		t.Fatal(err)
+	}
+	// A filler at 0x1000 advances the cursor into T's level-2 slot; the
+	// lvl2 record cascades down to level 1 when it fires.
+	e.Schedule(Duration(0x1000), func(*Engine, Time) {}) // seq 1
+	if !e.Step() {
+		t.Fatal("filler did not fire")
+	}
+	// seq 2, inserted with cur=0x1000: T now diverges at bit 6, level 1.
+	if _, err := e.ScheduleAt(T, at("lvl1")); err != nil {
+		t.Fatal(err)
+	}
+	// A cross-domain delivery at the same tick with dom=1 and a sequence
+	// number below every scheduled one: dom orders after all dom-0 events
+	// regardless of seq.
+	sink := &claimingSink{}
+	e.Deliver(Msg{Stamp: Stamp{At: T, Dom: 1, Seq: 0}, Sink: sink})
+	// Fire the tick's minimum — the level-2 record, which the cursor
+	// advance cascades into the ready heap first. The cursor now sits at
+	// exactly T, so the last same-tick insert goes straight to ready.
+	if !e.Step() {
+		t.Fatal("no event fired at T")
+	}
+	if len(order) != 1 || order[0] != "lvl2" {
+		t.Fatalf("first event at T was %v, want lvl2 (lowest seq)", order)
+	}
+	if _, err := e.ScheduleAt(T, at("ready")); err != nil { // seq 3
+		t.Fatal(err)
+	}
+
+	e.Run()
+	want := []string{"lvl2", "lvl1", "ready"}
+	if len(order) != len(want) {
+		t.Fatalf("fired %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("fire order %v, want %v (seq ties must break by schedule order across levels)", order, want)
+		}
+	}
+	// dom=1 orders after every dom=0 event at the same tick, so the
+	// delivery fired last of all.
+	if len(sink.seqs) != 1 || sink.seqs[0] != 0 {
+		t.Fatalf("delivery seqs = %v, want [0]", sink.seqs)
+	}
+	if e.Now() != T || e.Pending() != 0 {
+		t.Fatalf("now=%v pending=%d after drain", e.Now(), e.Pending())
+	}
+}
+
+// TestWheelCancelAfterLevelMigration cancels an event after the cursor
+// advance has already cascaded its record from a level-2 slot into a
+// level-1 slot, drains the queue so the record is recycled during a slot
+// scan, and then reuses the slot: the stale EventID must stay dead and
+// the slot's new occupant must fire untouched.
+func TestWheelCancelAfterLevelMigration(t *testing.T) {
+	e := NewEngine()
+	const T = Time(0x1040)
+
+	far := e.Schedule(Duration(T), func(*Engine, Time) { t.Fatal("cancelled event fired") })
+	e.Schedule(Duration(0x1000), func(*Engine, Time) {})
+	if !e.Step() { // cursor -> 0x1000; far migrates level 2 -> level 1
+		t.Fatal("filler did not fire")
+	}
+	if !e.Cancel(far) {
+		t.Fatal("migrated event did not cancel")
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("pending = %d after cancel, want 0", e.Pending())
+	}
+	// Draining scans the level-1 slot, recycles the cancelled record and
+	// must report an empty queue rather than firing it.
+	if e.Step() {
+		t.Fatal("Step fired something in a queue holding only a cancelled record")
+	}
+	if len(e.free) != len(e.slab) {
+		t.Fatalf("free list (%d) does not cover the slab (%d) after drain", len(e.free), len(e.slab))
+	}
+
+	// Reuse the recycled slot and check the stale ID stays inert.
+	fired := false
+	fresh := e.Schedule(1*Nanosecond, func(*Engine, Time) { fired = true })
+	if e.Cancel(far) {
+		t.Fatal("stale EventID cancelled the slot's new occupant")
+	}
+	e.Run()
+	if !fired {
+		t.Fatal("slot's new occupant did not fire")
+	}
+	if e.Cancel(fresh) {
+		t.Fatal("Cancel after fire returned true")
+	}
+}
+
+// TestRunUntilOnWheelBoundaries lands RunUntil deadlines exactly on slot
+// and level boundaries (powers of 64 in picoseconds) and on the overflow
+// horizon itself. At each boundary: an event at the deadline fires, an
+// event one tick past it stays queued, and the clock lands exactly on
+// the deadline.
+func TestRunUntilOnWheelBoundaries(t *testing.T) {
+	boundaries := []Time{
+		1 << wheelBits,                // level 0/1 seam
+		1 << (2 * wheelBits),          // level 1/2 seam
+		1 << (3 * wheelBits),          // level 2/3 seam
+		1 << horizonBits,              // wheel horizon: the event starts in overflow
+		1<<horizonBits + 1<<wheelBits, // one level-1 step past the horizon
+	}
+	e := NewEngine()
+	var prev Time
+	for _, b := range boundaries {
+		firedAt := Time(-1)
+		if _, err := e.ScheduleAt(b, func(_ *Engine, now Time) { firedAt = now }); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.ScheduleAt(b+1, func(*Engine, Time) {}); err != nil {
+			t.Fatal(err)
+		}
+		if n := e.RunUntil(b); n != 1 {
+			t.Fatalf("RunUntil(%#x) fired %d events, want 1", uint64(b), n)
+		}
+		if firedAt != b {
+			t.Fatalf("boundary event fired at %v, want %#x", firedAt, uint64(b))
+		}
+		if e.Now() != b {
+			t.Fatalf("clock = %v after RunUntil(%#x)", e.Now(), uint64(b))
+		}
+		if e.Pending() != 1 {
+			t.Fatalf("pending = %d at boundary %#x, want 1 (the b+1 event)", e.Pending(), uint64(b))
+		}
+		// Clear the straggler before the next boundary.
+		if n := e.RunUntil(b + 1); n != 1 {
+			t.Fatalf("straggler run fired %d, want 1", n)
+		}
+		prev = b + 1
+	}
+	if e.Now() != prev || e.Pending() != 0 {
+		t.Fatalf("now=%v pending=%d after the boundary sweep", e.Now(), e.Pending())
+	}
+}
+
+// TestRunUntilBoundaryWithEmptyWindow: a deadline exactly on a level seam
+// with no event anywhere inside the window still advances the clock and
+// cursor to the seam, and a subsequent schedule relative to it fires at
+// the right time.
+func TestRunUntilBoundaryWithEmptyWindow(t *testing.T) {
+	e := NewEngine()
+	const seam = Time(1 << (2 * wheelBits))
+	if _, err := e.ScheduleAt(seam*4, func(*Engine, Time) {}); err != nil {
+		t.Fatal(err)
+	}
+	if n := e.RunUntil(seam); n != 0 {
+		t.Fatalf("empty window fired %d events", n)
+	}
+	if e.Now() != seam {
+		t.Fatalf("clock = %v, want %v", e.Now(), seam)
+	}
+	firedAt := Time(-1)
+	e.Schedule(1*Picosecond, func(_ *Engine, now Time) { firedAt = now })
+	if n := e.RunUntil(seam + 1); n != 1 {
+		t.Fatalf("fired %d events, want 1", n)
+	}
+	if firedAt != seam+1 {
+		t.Fatalf("post-seam event fired at %v, want %v", firedAt, seam+1)
+	}
+	e.Run()
+	if e.Pending() != 0 {
+		t.Fatalf("pending = %d after drain", e.Pending())
+	}
+}
+
+// TestRunUntilDrainsCancelledSlots pins the cursor-advance reclamation
+// path: cancelled records parked in wheel slots the cursor passes over
+// (including a jump past the entire 2^48 ps horizon) are freed during
+// the advance rather than leaking until some later scan.
+func TestRunUntilDrainsCancelledSlots(t *testing.T) {
+	e := NewEngine()
+	nop := func(*Engine, Time) {}
+
+	// Cancelled records across several levels, then a deadline beyond all
+	// of them with nothing live: every passed slot must drain.
+	var ids []EventID
+	for _, d := range []Duration{0x40, 0x1000, 0x40000, 0x1000000} {
+		ids = append(ids, e.Schedule(d, func(*Engine, Time) { t.Fatal("cancelled event fired") }))
+	}
+	for _, id := range ids {
+		if !e.Cancel(id) {
+			t.Fatal("cancel failed")
+		}
+	}
+	if n := e.RunUntil(Time(0x2000000)); n != 0 {
+		t.Fatalf("RunUntil fired %d events, want 0", n)
+	}
+	if len(e.free) != len(e.slab) {
+		t.Fatalf("free list (%d) does not cover the slab (%d) after cursor advance",
+			len(e.free), len(e.slab))
+	}
+
+	// Jump past the whole wheel horizon with a cancelled record inside it
+	// and a live one beyond it (in the overflow heap): the advance drains
+	// every level, migrates the overflow event in, and fires it.
+	stale := e.Schedule(Duration(0x40), func(*Engine, Time) { t.Fatal("cancelled event fired") })
+	fired := false
+	e.Schedule(Duration(1)<<horizonBits+Duration(0x40), func(*Engine, Time) { fired = true })
+	if !e.Cancel(stale) {
+		t.Fatal("cancel failed")
+	}
+	if n := e.RunUntil(e.Now() + Time(1)<<horizonBits + Time(0x80)); n != 1 {
+		t.Fatalf("RunUntil fired %d events, want 1", n)
+	}
+	if !fired {
+		t.Fatal("overflow event did not fire after horizon jump")
+	}
+	if len(e.free) != len(e.slab) {
+		t.Fatalf("free list (%d) does not cover the slab (%d) after horizon jump",
+			len(e.free), len(e.slab))
+	}
+	e.Schedule(1*Nanosecond, nop)
+	if !e.Step() {
+		t.Fatal("engine dead after horizon jump")
+	}
+}
