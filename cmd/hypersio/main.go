@@ -10,12 +10,22 @@
 //	hypersio -benchmark mediastream -tenants 128 -design hypertrio -ptb 8 -no-prefetch
 //	hypersio -benchmark iperf3 -tenants 64 -trace run.ndjson -metrics run.json
 //	hypersio -benchmark iperf3 -tenants 32 -faults plan.json
+//	hypersio -scenario scenarios/noisy-neighbor.json -design hypertrio
+//	hypersio -scenario storm -stream
 //	hypersio -design hypertrio -describe
 //
 // Fault injection: -faults FILE loads a JSON fault plan
 // (hypertrio-faultplan/1; see EXPERIMENTS.md) scripting IOTLB
 // invalidations, mid-flight remaps, walker faults and tenant churn
 // against the run, and prints the injector's accounting afterwards.
+//
+// Scenarios: -scenario NAME|FILE runs a production-traffic scenario
+// (hypertrio-scenario/1; see EXPERIMENTS.md) — a committed library
+// scenario by name, or any JSON scenario file. The scenario owns the
+// tenant population, the load envelope and the fault script, so
+// -benchmark/-tenants/-interleave/-scale/-seed/-compact-rng are
+// ignored and -replay/-faults are rejected; -stream and every design
+// knob compose as usual. The report gains a per-class breakdown.
 //
 // Observability: -trace FILE streams model events (arrivals, drops,
 // DevTLB hits/misses, page walks, prefetches) as NDJSON; -trace-engine
@@ -37,6 +47,7 @@ import (
 	"hypertrio/internal/fault"
 	"hypertrio/internal/obs"
 	"hypertrio/internal/profiling"
+	"hypertrio/internal/scenario"
 	"hypertrio/internal/sim"
 	"hypertrio/internal/stats"
 	"hypertrio/internal/tlb"
@@ -71,6 +82,7 @@ type options struct {
 	metricsFile  string // metrics snapshot + time series output
 	sampleUs     int
 	faultsFile   string // JSON fault plan input
+	scenarioFile string // scenario name or JSON file input
 
 	cpuProfile string // pprof CPU profile output
 	memProfile string // pprof heap profile output
@@ -109,6 +121,7 @@ func parseFlags(args []string, stderr io.Writer) (options, error) {
 	fs.StringVar(&o.metricsFile, "metrics", "", "write the metrics snapshot and time series to FILE (.json or .csv)")
 	fs.IntVar(&o.sampleUs, "sample-us", 10, "time-series sample interval in simulated µs (0 disables the series)")
 	fs.StringVar(&o.faultsFile, "faults", "", "load a JSON fault plan ("+fault.PlanSchema+") and apply it during the run")
+	fs.StringVar(&o.scenarioFile, "scenario", "", "run a production-traffic scenario ("+scenario.Schema+"): a committed scenario name or a JSON file")
 	fs.StringVar(&o.cpuProfile, "cpuprofile", "", "write a pprof CPU profile of the run to FILE")
 	fs.StringVar(&o.memProfile, "memprofile", "", "write a pprof heap profile (post-run, GC-settled) to FILE")
 	if err := fs.Parse(args); err != nil {
@@ -216,6 +229,17 @@ func (o options) validate() error {
 	if o.faultsFile != "" && o.describe {
 		return fmt.Errorf("-faults has no effect with -describe (nothing is simulated)")
 	}
+	if o.scenarioFile != "" {
+		if o.replayFile != "" {
+			return fmt.Errorf("-scenario and -replay are mutually exclusive (the scenario defines the traffic)")
+		}
+		if o.faultsFile != "" {
+			return fmt.Errorf("-scenario and -faults are mutually exclusive (the scenario composes its own fault script)")
+		}
+		if o.describe {
+			return fmt.Errorf("-scenario has no effect with -describe (nothing is simulated)")
+		}
+	}
 	return nil
 }
 
@@ -275,6 +299,25 @@ func run(o options, out io.Writer) error {
 		fmt.Fprintf(out, "fault plan %s: %d scripted events\n", o.faultsFile, len(plan.Events))
 	}
 
+	var comp *scenario.Compiled
+	if o.scenarioFile != "" {
+		sc, err := loadScenario(o.scenarioFile)
+		if err != nil {
+			return err
+		}
+		comp, err = sc.Compile()
+		if err != nil {
+			return err
+		}
+		cfg = comp.Apply(cfg)
+		fmt.Fprintf(out, "scenario %s: %d classes, %d tenants, %d phases, horizon %v",
+			sc.Name, len(sc.Classes), sc.TotalTenants(), len(sc.Phases), comp.Horizon)
+		if comp.Plan != nil {
+			fmt.Fprintf(out, ", %d scripted fault events", len(comp.Plan.Events))
+		}
+		fmt.Fprintln(out)
+	}
+
 	if o.describe {
 		desc, err := hypertrio.DescribePipeline(cfg)
 		if err != nil {
@@ -304,7 +347,23 @@ func run(o options, out io.Writer) error {
 	}
 
 	var src hypertrio.Source
-	if o.replayFile != "" {
+	if comp != nil {
+		if o.stream {
+			fmt.Fprintf(out, "streaming scenario population (online, O(tenants) memory)...\n")
+			s, err := comp.Stream()
+			if err != nil {
+				return err
+			}
+			src = s
+		} else {
+			fmt.Fprintf(out, "materializing scenario trace...\n")
+			tr, err := comp.Materialize()
+			if err != nil {
+				return err
+			}
+			src = tr.Source()
+		}
+	} else if o.replayFile != "" {
 		f, err := os.Open(o.replayFile)
 		if err != nil {
 			return err
@@ -368,6 +427,10 @@ func run(o options, out io.Writer) error {
 	fmt.Fprintf(out, "\n%s design: %s\n", o.design, res)
 	fmt.Fprintf(out, "  elapsed (simulated): %v\n", res.Elapsed)
 	fmt.Fprintf(out, "  drops: %d (%.2f%% of arrival slots)\n", res.Drops, res.DropRate()*100)
+	for _, c := range res.Classes {
+		fmt.Fprintf(out, "  class %-12s %4d tenants  %7.2f Gb/s  drops %8d  avg lat %-12v Jain %.3f\n",
+			c.Name, c.Tenants, c.Gbps, c.Drops, c.AvgLatency, c.Fairness)
+	}
 	if !cfg.TranslationOff {
 		fmt.Fprintf(out, "  avg chipset translation latency: %v\n", res.AvgMissLatency)
 		fmt.Fprintf(out, "  requests: %s total, %.1f%% DevTLB, %.1f%% prefetch buffer\n",
@@ -405,6 +468,24 @@ func run(o options, out io.Writer) error {
 		fmt.Fprintf(out, "wrote %s\n", o.metricsFile)
 	}
 	return nil
+}
+
+// loadScenario resolves -scenario: an existing file decodes as JSON;
+// otherwise the name is looked up in the committed library.
+func loadScenario(nameOrPath string) (*scenario.Scenario, error) {
+	f, err := os.Open(nameOrPath)
+	if err == nil {
+		defer f.Close()
+		sc, rerr := scenario.ReadScenario(f)
+		if rerr != nil {
+			return nil, fmt.Errorf("reading %s: %w", nameOrPath, rerr)
+		}
+		return sc, nil
+	}
+	if sc, lerr := scenario.ByName(nameOrPath); lerr == nil {
+		return sc, nil
+	}
+	return nil, fmt.Errorf("-scenario %q: not a readable file (%v) and not a committed scenario name", nameOrPath, err)
 }
 
 // writeMetrics exports the run's registry snapshot and time series:

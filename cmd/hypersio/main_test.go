@@ -12,6 +12,7 @@ import (
 	"hypertrio"
 	"hypertrio/internal/fault"
 	"hypertrio/internal/obs"
+	"hypertrio/internal/scenario"
 	"hypertrio/internal/sim"
 	"hypertrio/internal/trace"
 )
@@ -304,6 +305,105 @@ func writePlan(t *testing.T) string {
 		t.Fatal(err)
 	}
 	return path
+}
+
+// writeScenario commits a scaled-down library scenario to disk and
+// returns its path.
+func writeScenario(t *testing.T, name string, scale float64) string {
+	t.Helper()
+	sc, err := scenario.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc = sc.WithScale(scale)
+	path := filepath.Join(t.TempDir(), name+".json")
+	var buf strings.Builder
+	if err := sc.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(buf.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestCLIScenarioRun drives -scenario end to end: the scenario banner,
+// the per-class breakdown, and — for the storm — the injector report.
+// A file path and a committed library name both resolve, and the
+// streaming run of the same scenario reports identical results.
+func TestCLIScenarioRun(t *testing.T) {
+	path := writeScenario(t, "noisy-neighbor", 0.05)
+	var stdout, stderr strings.Builder
+	if got := cliMain([]string{"-scenario", path}, &stdout, &stderr); got != 0 {
+		t.Fatalf("exit %d, stderr: %s", got, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"scenario noisy-neighbor:", "2 classes, 16 tenants, 1 phases",
+		"class victim", "class bully", "Jain"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stdout lacks %q:\n%s", want, out)
+		}
+	}
+
+	// Identical results via -stream, modulo the construction banner.
+	var streamOut strings.Builder
+	if got := cliMain([]string{"-scenario", path, "-stream"}, &streamOut, &stderr); got != 0 {
+		t.Fatalf("stream exit %d, stderr: %s", got, stderr.String())
+	}
+	tail := func(s string) string {
+		if i := strings.Index(s, "\n\n"); i >= 0 {
+			return s[i:]
+		}
+		return s
+	}
+	if tail(streamOut.String()) != tail(out) {
+		t.Errorf("streaming scenario report diverged:\n--- stream\n%s\n--- trace\n%s",
+			tail(streamOut.String()), tail(out))
+	}
+
+	// Committed names resolve without a file, and the storm prints its
+	// composed fault script's accounting.
+	stormPath := writeScenario(t, "storm", 0.05)
+	var stormOut strings.Builder
+	if got := cliMain([]string{"-scenario", stormPath}, &stormOut, &stderr); got != 0 {
+		t.Fatalf("storm exit %d, stderr: %s", got, stderr.String())
+	}
+	for _, want := range []string{"scripted fault events", "faults:"} {
+		if !strings.Contains(stormOut.String(), want) {
+			t.Errorf("storm stdout lacks %q:\n%s", want, stormOut.String())
+		}
+	}
+}
+
+// TestCLIScenarioErrors covers -scenario misuse: conflicting flags,
+// unresolvable names, and invalid documents all fail cleanly.
+func TestCLIScenarioErrors(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"schema":"hypertrio-scenario/9"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	plan := writePlan(t)
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"with replay", []string{"-scenario", "storm", "-replay", "x.hsio"}},
+		{"with faults", []string{"-scenario", "storm", "-faults", plan}},
+		{"with describe", []string{"-scenario", "storm", "-describe"}},
+		{"unknown name", []string{"-scenario", "hurricane"}},
+		{"bad document", []string{"-scenario", bad}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var stdout, stderr strings.Builder
+			if got := cliMain(c.args, &stdout, &stderr); got != 1 {
+				t.Fatalf("cliMain(%v) = %d, want 1 (stderr: %s)", c.args, got, stderr.String())
+			}
+			if stderr.Len() == 0 {
+				t.Error("failure produced nothing on stderr")
+			}
+		})
+	}
 }
 
 // TestCLIExitCodes drives the full argv-to-exit-code path: flag misuse

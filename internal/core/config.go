@@ -65,9 +65,28 @@ func (p Params) validate() error {
 	return nil
 }
 
+// ArrivalShaper modulates the packet inter-arrival gap over simulated
+// time — the hook scenario load envelopes (diurnal curves, incast
+// microbursts, ramps) use to make offered load time-varying without
+// touching the generators. Implementations must be deterministic pure
+// functions of their inputs: the same (base, now) pair always yields
+// the same gap, which is what keeps shaped runs byte-identical across
+// serial, sharded and streaming execution.
+type ArrivalShaper interface {
+	// Gap returns the gap between the current link slot and the next,
+	// given the nominal (full-load) gap and the current simulated time.
+	// Returning base models full offered load; larger gaps thin it.
+	Gap(base sim.Duration, now sim.Time) sim.Duration
+}
+
 // Config is one full system configuration under test.
 type Config struct {
 	Params Params
+
+	// Shaper, when non-nil, modulates the packet inter-arrival gap over
+	// simulated time (load envelopes). Nil offers the constant
+	// Params-implied load — byte-identical to a build without the hook.
+	Shaper ArrivalShaper
 
 	// DevTLB configures the on-device translation cache; Sets == 0
 	// disables the DevTLB entirely (every request goes to the chipset).

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"reflect"
 	"testing"
 
 	"hypertrio/internal/sim"
@@ -180,7 +181,7 @@ func TestDeterministicRuns(t *testing.T) {
 	tr := makeTrace(t, workload.Websearch, 32, trace.RAND1, 0.004)
 	a := run(t, HyperTRIOConfig(), tr)
 	b := run(t, HyperTRIOConfig(), tr)
-	if a != b {
+	if !reflect.DeepEqual(a, b) {
 		t.Fatalf("two identical runs diverged:\n%+v\n%+v", a, b)
 	}
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"bytes"
 	"encoding/json"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -113,7 +114,7 @@ func TestRepeatedRunsByteIdentical(t *testing.T) {
 		t.Fatalf("event traces differ between identical runs (%d vs %d bytes)", len(ev1), len(ev2))
 	}
 	r1.Series, r2.Series = nil, nil
-	if r1 != r2 {
+	if !reflect.DeepEqual(r1, r2) {
 		t.Fatalf("results differ:\n%+v\n%+v", r1, r2)
 	}
 }

@@ -41,6 +41,11 @@ type Result struct {
 	MaxTenantLatency sim.Duration
 	WorstPacket      sim.Duration // single slowest packet service time
 
+	// Classes breaks the run down by tenant class for class-partitioned
+	// populations (scenario runs), in the population's class order; nil
+	// for uniform single-profile traces.
+	Classes []ClassResult
+
 	// Structure statistics.
 	DevTLB   tlb.Stats
 	PTB      device.PTBStats
@@ -51,6 +56,30 @@ type Result struct {
 	// periodic sampler; nil otherwise. It rides on the result so runners
 	// can export per-run CSVs without re-plumbing the System.
 	Series *obs.Series
+}
+
+// ClassResult is one tenant class's share of a run: throughput, drop
+// and latency accounting over the class's contiguous SID range, plus
+// Jain's fairness index *within* the class — the isolation metric the
+// adversarial scenarios pin (a victim class staying fair and fast while
+// a bully class thrashes the shared structures).
+type ClassResult struct {
+	Name       string
+	Tenants    int
+	Packets    uint64
+	Drops      uint64
+	Gbps       float64      // class throughput over the run's elapsed time
+	AvgLatency sim.Duration // packet-weighted mean service time
+	Fairness   float64      // Jain's index over the class's per-tenant mean latencies
+}
+
+// DropRate is the fraction of the class's arrival attempts dropped.
+func (c ClassResult) DropRate() float64 {
+	attempts := c.Packets + c.Drops
+	if attempts == 0 {
+		return 0
+	}
+	return float64(c.Drops) / float64(attempts)
 }
 
 // result assembles the Result view from the metric cells and the chain's
@@ -106,6 +135,45 @@ func (s *System) result() Result {
 	}
 	if sumSq > 0 {
 		r.LatencyFairness = sum * sum / (float64(active) * sumSq)
+	}
+	// Per-class breakdown: the class partition is contiguous SID ranges
+	// in class order, so one SID-ascending walk per class keeps the
+	// floating-point accumulation order deterministic.
+	if len(s.meta.Classes) > 0 {
+		r.Classes = make([]ClassResult, 0, len(s.meta.Classes))
+		lo := 1
+		for _, cl := range s.meta.Classes {
+			cr := ClassResult{Name: cl.Name, Tenants: cl.Tenants}
+			var cSum, cSumSq float64
+			var latSum sim.Duration
+			cActive := 0
+			for sid := lo; sid < lo+cl.Tenants && sid < len(s.tenantLat); sid++ {
+				if s.tenantDrops != nil {
+					cr.Drops += s.tenantDrops[sid]
+				}
+				tl := &s.tenantLat[sid]
+				if tl.count == 0 {
+					continue
+				}
+				cActive++
+				cr.Packets += tl.count
+				latSum += tl.sum
+				mean := float64(tl.sum) / float64(tl.count)
+				cSum += mean
+				cSumSq += mean * mean
+			}
+			if cr.Packets > 0 {
+				cr.AvgLatency = latSum / sim.Duration(cr.Packets)
+			}
+			if s.lastCompletion > 0 {
+				cr.Gbps = float64(cr.Packets*uint64(s.cfg.Params.PacketBytes)*8) / sim.Duration(s.lastCompletion).Seconds() / 1e9
+			}
+			if cSumSq > 0 {
+				cr.Fairness = cSum * cSum / (float64(cActive) * cSumSq)
+			}
+			r.Classes = append(r.Classes, cr)
+			lo += cl.Tenants
+		}
 	}
 	r.DevTLB = s.chain.CacheStats("devtlb")
 	r.PTB = s.chain.PTBStats()

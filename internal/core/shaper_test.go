@@ -1,0 +1,113 @@
+package core
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"hypertrio/internal/sim"
+	"hypertrio/internal/trace"
+	"hypertrio/internal/workload"
+)
+
+// halfLoad stretches every inter-arrival gap 2x: offered load is half
+// the link rate at all times.
+type halfLoad struct{}
+
+func (halfLoad) Gap(base sim.Duration, now sim.Time) sim.Duration { return 2 * base }
+
+func mixTrace(t *testing.T, victims, bullies int) *trace.Trace {
+	t.Helper()
+	tr, err := trace.ConstructMix(trace.MixConfig{
+		Classes: []trace.ClassSpec{
+			{Name: "victim", Profile: workload.ProfileFor(workload.Iperf3), Tenants: victims, Weight: 1, Scale: 0.01},
+			{Name: "bully", Profile: workload.ProfileFor(workload.Iperf3), Tenants: bullies, Weight: 4, Scale: 0.08},
+		},
+		Interleave: trace.RR1,
+		Seed:       42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// A load envelope at half rate doubles the run's span (to within the
+// service tail) and halves achieved bandwidth, without changing which
+// packets complete; two shaped runs stay identical.
+func TestShaperThinsOfferedLoad(t *testing.T) {
+	tr := makeTrace(t, workload.Iperf3, 8, trace.RR1, 0.01)
+	full := run(t, HyperTRIOConfig(), tr)
+	cfg := HyperTRIOConfig()
+	cfg.Shaper = halfLoad{}
+	shaped := run(t, cfg, tr)
+	if shaped.Packets != full.Packets {
+		t.Fatalf("shaper changed packet count: %d vs %d", shaped.Packets, full.Packets)
+	}
+	ratio := float64(shaped.Elapsed) / float64(full.Elapsed)
+	if ratio < 1.8 || ratio > 2.2 {
+		t.Fatalf("half-rate envelope should ~double the span; ratio = %.2f", ratio)
+	}
+	if shaped.AchievedGbps >= full.AchievedGbps {
+		t.Fatalf("half-rate envelope did not reduce bandwidth: %.2f vs %.2f",
+			shaped.AchievedGbps, full.AchievedGbps)
+	}
+	again := run(t, cfg, tr)
+	if !reflect.DeepEqual(shaped, again) {
+		t.Fatalf("two identical shaped runs diverged:\n%+v\n%+v", shaped, again)
+	}
+}
+
+// Class-partitioned populations report a per-class breakdown whose
+// packet, drop and throughput accounting reconciles with the totals.
+func TestClassResultsReconcile(t *testing.T) {
+	tr := mixTrace(t, 6, 2)
+	r := run(t, BaseConfig(), tr)
+	if len(r.Classes) != 2 {
+		t.Fatalf("classes = %d, want 2", len(r.Classes))
+	}
+	if r.Classes[0].Name != "victim" || r.Classes[1].Name != "bully" {
+		t.Fatalf("class names = %q, %q", r.Classes[0].Name, r.Classes[1].Name)
+	}
+	var pkts, drops uint64
+	var gbps float64
+	for _, c := range r.Classes {
+		pkts += c.Packets
+		drops += c.Drops
+		gbps += c.Gbps
+		if c.Fairness < 0 || c.Fairness > 1.000001 {
+			t.Fatalf("class %s fairness out of range: %v", c.Name, c.Fairness)
+		}
+	}
+	if pkts != r.Packets {
+		t.Fatalf("class packets sum to %d, run has %d", pkts, r.Packets)
+	}
+	if drops != r.Drops {
+		t.Fatalf("class drops sum to %d, run has %d", drops, r.Drops)
+	}
+	if math.Abs(gbps-r.AchievedGbps) > 1e-9*math.Max(1, r.AchievedGbps) {
+		t.Fatalf("class Gbps sum to %v, run reports %v", gbps, r.AchievedGbps)
+	}
+	// The weight-4 bully class (2 tenants vs 6) holds 8 of 14 slots per
+	// RR cycle and must carry more traffic than the victim class.
+	if r.Classes[1].Packets <= r.Classes[0].Packets {
+		t.Fatalf("weighted bully class should dominate: bully %d <= victim %d packets",
+			r.Classes[1].Packets, r.Classes[0].Packets)
+	}
+	// Uniform populations keep the legacy shape: no class breakdown.
+	if rr := run(t, BaseConfig(), makeTrace(t, workload.Iperf3, 4, trace.RR1, 0.01)); rr.Classes != nil {
+		t.Fatalf("uniform trace reported classes: %+v", rr.Classes)
+	}
+}
+
+// A population whose class tenant counts disagree with the trace's
+// tenant count is rejected up front.
+func TestClassCountMismatchRejected(t *testing.T) {
+	tr := mixTrace(t, 6, 2)
+	bad := *tr
+	bad.Classes = append([]trace.TenantClass(nil), tr.Classes...)
+	bad.Classes[0].Tenants = 5
+	if _, err := NewSystem(BaseConfig(), &bad); err == nil {
+		t.Fatal("expected class/tenant count mismatch error")
+	}
+}

@@ -32,7 +32,11 @@ type System struct {
 	meta trace.Meta
 
 	engine *sim.Engine
-	dt     sim.Duration // packet inter-arrival gap
+	dt     sim.Duration // nominal packet inter-arrival gap
+	// shaper, when non-nil, stretches the inter-arrival gap over
+	// simulated time (scenario load envelopes); nextGap is the only
+	// consumer, so a nil shaper keeps the constant-load fast path.
+	shaper ArrivalShaper
 
 	// Sharded-run topology (all nil/zero for Shards <= 1). The IOMMU
 	// domain is deliberately domain 0: at equal timestamps the merged
@@ -88,6 +92,10 @@ type System struct {
 	// are dense by construction, so a slice replaces the former map and
 	// the per-completion update is one index, no hashing, no allocation.
 	tenantLat []tenantLatency
+	// tenantDrops attributes drops to the tenant whose packet lost the
+	// slot — allocated only for class-partitioned populations (scenario
+	// runs), where per-class drop accounting is part of the result.
+	tenantDrops []uint64
 
 	// Observability (all zero when Config.Obs is unset; the simulation's
 	// outcome is byte-identical either way).
@@ -166,9 +174,13 @@ func NewSystemSource(cfg Config, src trace.Source) (*System, error) {
 		tr:        tr,
 		meta:      meta,
 		dt:        cfg.Params.Interarrival(),
+		shaper:    cfg.Shaper,
 		host:      mem.NewSpace("host", 0x1_0000_0000, 0),
 		ctx:       mem.NewContextTable(),
 		tenantLat: make([]tenantLatency, meta.Tenants+1),
+	}
+	if len(meta.Classes) > 0 {
+		s.tenantDrops = make([]uint64, meta.Tenants+1)
 	}
 	if cfg.Shards >= 2 {
 		s.sharded = sim.NewSharded()
@@ -178,11 +190,33 @@ func NewSystemSource(cfg Config, src trace.Source) (*System, error) {
 	} else {
 		s.engine = sim.NewEngine()
 	}
-	profile := meta.Profile
-	if err := profile.Validate(); err != nil {
-		// Traces built by older tools may lack the embedded profile;
-		// fall back to the benchmark's calibration.
-		profile = workload.ProfileFor(meta.Benchmark)
+	// The tenant population is a sequence of classes over contiguous SID
+	// ranges; a classic single-profile trace is the one-class case, so
+	// both shapes share the build loop below (and the one-class case
+	// allocates host frames in exactly the order it always has — the
+	// byte-identity the golden suite pins).
+	population := meta.Classes
+	if len(population) == 0 {
+		profile := meta.Profile
+		if err := profile.Validate(); err != nil {
+			// Traces built by older tools may lack the embedded profile;
+			// fall back to the benchmark's calibration.
+			profile = workload.ProfileFor(meta.Benchmark)
+		}
+		population = []trace.TenantClass{{Profile: profile, Tenants: meta.Tenants}}
+	} else {
+		n := 0
+		for _, cl := range population {
+			n += cl.Tenants
+		}
+		if n != meta.Tenants {
+			return nil, fmt.Errorf("core: class tenant counts sum to %d, trace has %d tenants", n, meta.Tenants)
+		}
+		for i, cl := range population {
+			if err := cl.Profile.Validate(); err != nil {
+				return nil, fmt.Errorf("core: class %d (%s): %w", i, cl.Name, err)
+			}
+		}
 	}
 	levels := cfg.PageTableLevels
 	if levels == 0 {
@@ -191,44 +225,55 @@ func NewSystemSource(cfg Config, src trace.Source) (*System, error) {
 	s.ctx.Reserve(mem.SID(meta.Tenants))
 	tenants := mem.NewTenantTables(mem.SID(meta.Tenants))
 	if cfg.Fault == nil {
-		// Every tenant runs the same guest image, so tenant page tables are
-		// structurally identical up to the ring-window slot the SID maps to
-		// (RingSlots congruence classes). Simulation outcomes depend only
-		// on walk shape and (SID, IOVA) cache keys — never on which
-		// physical frames back a walk — so all tenants of one class share a
-		// single template table, keeping simulated memory O(RingSlots) at
-		// any tenant count. A fault plan's Remap mutates per-tenant tables,
-		// so faulted runs build private ones below.
-		classes := workload.RingSlots
-		if meta.Tenants < classes {
-			classes = meta.Tenants
-		}
-		templates := make([]*mem.NestedTable, classes)
-		for c := 0; c < classes; c++ {
-			as, err := workload.BuildAddressSpaceLevels(profile, mem.SID(c+1), s.host, nil, levels)
-			if err != nil {
-				return nil, fmt.Errorf("core: building tenant template %d: %w", c+1, err)
+		// Every tenant of a class runs the same guest image, so tenant
+		// page tables are structurally identical up to the ring-window
+		// slot the SID maps to (RingSlots congruence classes). Simulation
+		// outcomes depend only on walk shape and (SID, IOVA) cache keys —
+		// never on which physical frames back a walk — so all tenants of
+		// one congruence class share a single template table, keeping
+		// simulated memory O(classes x RingSlots) at any tenant count. A
+		// fault plan's Remap mutates per-tenant tables, so faulted runs
+		// build private ones below.
+		lo := 1
+		for ci := range population {
+			cl := &population[ci]
+			slots := workload.RingSlots
+			if cl.Tenants < slots {
+				slots = cl.Tenants
 			}
-			templates[c] = as.Nested
-		}
-		for i := 1; i <= meta.Tenants; i++ {
-			sid := mem.SID(i)
-			nt := templates[(i-1)%classes]
-			tenants.Set(sid, nt)
-			s.ctx.Set(sid, mem.ContextEntry{
-				DID:       uint32(sid),
-				GuestRoot: nt.GuestRoot(),
-				HostRoot:  nt.HostRoot(),
-			})
+			templates := make([]*mem.NestedTable, slots)
+			for c := 0; c < slots; c++ {
+				as, err := workload.BuildAddressSpaceLevels(cl.Profile, mem.SID(lo+c), s.host, nil, levels)
+				if err != nil {
+					return nil, fmt.Errorf("core: building tenant template %d: %w", lo+c, err)
+				}
+				templates[c] = as.Nested
+			}
+			for i := lo; i < lo+cl.Tenants; i++ {
+				sid := mem.SID(i)
+				nt := templates[(i-lo)%slots]
+				tenants.Set(sid, nt)
+				s.ctx.Set(sid, mem.ContextEntry{
+					DID:       uint32(sid),
+					GuestRoot: nt.GuestRoot(),
+					HostRoot:  nt.HostRoot(),
+				})
+			}
+			lo += cl.Tenants
 		}
 	} else {
-		for i := 1; i <= meta.Tenants; i++ {
-			sid := mem.SID(i)
-			as, err := workload.BuildAddressSpaceLevels(profile, sid, s.host, s.ctx, levels)
-			if err != nil {
-				return nil, fmt.Errorf("core: building tenant %d: %w", i, err)
+		lo := 1
+		for ci := range population {
+			cl := &population[ci]
+			for i := lo; i < lo+cl.Tenants; i++ {
+				sid := mem.SID(i)
+				as, err := workload.BuildAddressSpaceLevels(cl.Profile, sid, s.host, s.ctx, levels)
+				if err != nil {
+					return nil, fmt.Errorf("core: building tenant %d: %w", i, err)
+				}
+				tenants.Set(sid, as.Nested)
 			}
-			tenants.Set(sid, as.Nested)
+			lo += cl.Tenants
 		}
 	}
 	s.tenants = tenants
@@ -384,6 +429,21 @@ func flattenKeys(tr *trace.Trace) []tlb.Key {
 	return keys
 }
 
+// nextGap returns the gap to the next link slot: the nominal
+// inter-arrival time, stretched by the configured load envelope when
+// one is present. The gap is floored at one picosecond so a hostile
+// shaper can never wedge the event loop at zero-time self-scheduling.
+func (s *System) nextGap(now sim.Time) sim.Duration {
+	if s.shaper == nil {
+		return s.dt
+	}
+	g := s.shaper.Gap(s.dt, now)
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
 // start primes the engine with the first link slot and the sampler tick
 // without draining it. Run uses it; white-box tests call it and step the
 // engine manually.
@@ -391,7 +451,7 @@ func (s *System) start() {
 	// The first slot lands one inter-arrival gap in, so that N packets
 	// occupy N link slots and measured bandwidth can never exceed the
 	// offered rate by a fencepost.
-	s.engine.ScheduleEvent(s.dt, s, evArrival<<32)
+	s.engine.ScheduleEvent(s.nextGap(0), s, evArrival<<32)
 	if s.sampler != nil {
 		s.sampler.start(s.engine)
 	}
@@ -497,7 +557,7 @@ func (s *System) arrival(e *sim.Engine, now sim.Time) {
 
 	if s.cfg.TranslationOff {
 		s.acceptNative(e, now, pkt)
-		e.ScheduleEvent(s.dt, s, evArrival<<32)
+		e.ScheduleEvent(s.nextGap(now), s, evArrival<<32)
 		return
 	}
 
@@ -507,10 +567,13 @@ func (s *System) arrival(e *sim.Engine, now sim.Time) {
 	// §IV-C).
 	if !s.chain.Admit() {
 		s.drops.Inc()
+		if s.tenantDrops != nil {
+			s.tenantDrops[pkt.SID]++
+		}
 		if s.otr != nil {
 			s.otr.Emit(obs.Event{T: int64(now), Ev: "drop", SID: uint32(pkt.SID)})
 		}
-		e.ScheduleEvent(s.dt, s, evArrival<<32)
+		e.ScheduleEvent(s.nextGap(now), s, evArrival<<32)
 		return
 	}
 	s.curValid = false
@@ -550,7 +613,7 @@ func (s *System) arrival(e *sim.Engine, now sim.Time) {
 		}
 		s.chain.MaybePrefetch(e, pkt.SID)
 	}
-	e.ScheduleEvent(s.dt, s, evArrival<<32)
+	e.ScheduleEvent(s.nextGap(now), s, evArrival<<32)
 }
 
 func (s *System) acceptNative(e *sim.Engine, now sim.Time, pkt workload.Packet) {

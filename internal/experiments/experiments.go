@@ -100,6 +100,11 @@ var All = []Experiment{
 	{"ext-faults", "Extension: scripted invalidation-rate sweep (fault injection)", ExtFaults},
 	{"ext-churn", "Extension: tenant-churn sweep (fault injection)", ExtChurn},
 	{"ext-megatenant", "Extension: million-tenant scale-out with streaming sources", ExtMegaTenant},
+	{"ext-noisy-neighbor", "Extension: noisy-neighbor scenario (heavy-hitter isolation)", ExtNoisyNeighbor},
+	{"ext-sid-flood", "Extension: SID-flood scenario (IOTLB thrashing)", ExtSIDFlood},
+	{"ext-incast", "Extension: incast scenario (synchronized microbursts)", ExtIncast},
+	{"ext-diurnal", "Extension: diurnal scenario (day/night load curve)", ExtDiurnal},
+	{"ext-storm", "Extension: invalidation storm at peak load", ExtStorm},
 }
 
 // Lookup finds an experiment by ID.

@@ -22,7 +22,8 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{"table2", "table3", "fig4", "fig5", "fig8a", "fig8b",
 		"fig9", "fig10", "fig11a", "fig11b", "fig11c", "fig12a", "fig12b", "fig12c",
 		"ext-partitions", "ext-walkers", "ext-5level", "ext-isolation",
-		"ext-faults", "ext-churn", "ext-megatenant"}
+		"ext-faults", "ext-churn", "ext-megatenant",
+		"ext-noisy-neighbor", "ext-sid-flood", "ext-incast", "ext-diurnal", "ext-storm"}
 	if len(All) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(All), len(want))
 	}

@@ -33,6 +33,13 @@ type Cell struct {
 	// path rather than failing, since the fallback costs exactly what
 	// streaming was avoiding only for those cells that cannot avoid it.
 	Stream bool
+	// Source, when non-nil, is replayed directly and takes precedence
+	// over every other trace field. Sources are single-consumer: each
+	// cell needs its own (scenario sweeps hand every streaming cell a
+	// fresh scenario.Compiled.Stream()). Unlike the Stream path there is
+	// no materialized fallback — a config that requires the whole
+	// sequence up front is an error.
+	Source trace.Source
 }
 
 // Pool executes cells across a fixed number of worker goroutines. The
@@ -116,6 +123,16 @@ func (p Pool) runCell(c Cell) (res core.Result, err error) {
 			err = fmt.Errorf("simulation panic: %v", r)
 		}
 	}()
+	if c.Source != nil {
+		if core.RequiresMaterialized(c.Config) {
+			return core.Result{}, fmt.Errorf("config requires a materialized trace; cell has a streaming source")
+		}
+		sys, err := core.NewSystemSource(c.Config, c.Source)
+		if err != nil {
+			return core.Result{}, err
+		}
+		return sys.Run()
+	}
 	tr := c.Trace
 	if tr == nil {
 		if c.Stream && !core.RequiresMaterialized(c.Config) {

@@ -61,7 +61,7 @@ func TestPoolDeterministicAcrossWorkerCounts(t *testing.T) {
 			t.Fatal(err)
 		}
 		for i := range serial {
-			if parallel[i] != serial[i] {
+			if !reflect.DeepEqual(parallel[i], serial[i]) {
 				t.Fatalf("workers=%d: result %d differs from serial run", workers, i)
 			}
 		}
@@ -161,7 +161,7 @@ func TestPoolOracleCellsShareTrace(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rs[0] != rs[1] || rs[1] != rs[2] {
+	if !reflect.DeepEqual(rs[0], rs[1]) || !reflect.DeepEqual(rs[1], rs[2]) {
 		t.Error("identical oracle cells diverged over a shared trace")
 	}
 }

@@ -1,0 +1,197 @@
+package scenario
+
+import (
+	"fmt"
+
+	"hypertrio/internal/sim"
+)
+
+// EnvelopeKind selects a phase's load-shaping curve.
+type EnvelopeKind uint8
+
+const (
+	// EnvFlat offers a constant fraction Level of the link rate.
+	EnvFlat EnvelopeKind = iota
+	// EnvDiurnal is a piecewise-linear day/night curve: the level climbs
+	// from Level to Peak over the first half of each Period and falls
+	// back over the second half (a triangle wave — deterministic integer
+	// arithmetic, no transcendentals).
+	EnvDiurnal
+	// EnvIncast holds Level except for a Burst-long spike to Peak at the
+	// top of every Period — synchronized fan-in microbursts.
+	EnvIncast
+	// EnvRamp climbs linearly from Level to Peak across the phase.
+	EnvRamp
+	// EnvStep holds Level for the first half of the phase and jumps to
+	// Peak for the second.
+	EnvStep
+
+	envelopeKindCount // sentinel
+)
+
+var envelopeKindNames = [...]string{
+	EnvFlat:    "flat",
+	EnvDiurnal: "diurnal",
+	EnvIncast:  "incast",
+	EnvRamp:    "ramp",
+	EnvStep:    "step",
+}
+
+func (k EnvelopeKind) String() string {
+	if int(k) < len(envelopeKindNames) {
+		return envelopeKindNames[k]
+	}
+	return fmt.Sprintf("EnvelopeKind(%d)", uint8(k))
+}
+
+// EnvelopeKindFromString parses the JSON name of an envelope kind.
+func EnvelopeKindFromString(s string) (EnvelopeKind, error) {
+	for k, name := range envelopeKindNames {
+		if name == s {
+			return EnvelopeKind(k), nil
+		}
+	}
+	return 0, fmt.Errorf("scenario: unknown envelope kind %q", s)
+}
+
+// Envelope shapes one phase's offered load as a fraction of the link
+// rate over the phase's local time. Levels are clamped to
+// [minLevel, 1] at evaluation: a scenario can thin load to 1% but
+// never push the link past its nominal rate.
+type Envelope struct {
+	Kind EnvelopeKind
+	// Level is the baseline load fraction in (0, 1].
+	Level float64
+	// Peak is the curve's other extreme for non-flat kinds, in (0, 1].
+	Peak float64
+	// Period is the diurnal/incast cycle length.
+	Period sim.Duration
+	// Burst is the spike width within each incast period.
+	Burst sim.Duration
+}
+
+// minLevel floors envelope evaluation so a gap can never stretch more
+// than 100x nominal (and never divides by zero).
+const minLevel = 0.01
+
+func (e Envelope) validate() error {
+	if e.Kind >= envelopeKindCount {
+		return fmt.Errorf("unknown envelope kind %d", e.Kind)
+	}
+	if !(e.Level > 0 && e.Level <= 1) {
+		return fmt.Errorf("envelope level must be in (0,1], got %v", e.Level)
+	}
+	if e.Kind == EnvFlat {
+		if e.Peak != 0 || e.Period != 0 || e.Burst != 0 {
+			return fmt.Errorf("flat envelope takes only a level")
+		}
+		return nil
+	}
+	if !(e.Peak > 0 && e.Peak <= 1) {
+		return fmt.Errorf("envelope peak must be in (0,1], got %v", e.Peak)
+	}
+	switch e.Kind {
+	case EnvDiurnal:
+		if !(e.Period >= 2 && e.Period <= maxHorizon) {
+			return fmt.Errorf("diurnal period must be in [2ps, %v], got %v", maxHorizon, e.Period)
+		}
+		if e.Burst != 0 {
+			return fmt.Errorf("diurnal envelope takes no burst")
+		}
+	case EnvIncast:
+		if !(e.Period > 0 && e.Period <= maxHorizon) {
+			return fmt.Errorf("incast period must be in (0, %v], got %v", maxHorizon, e.Period)
+		}
+		if !(e.Burst > 0 && e.Burst <= e.Period) {
+			return fmt.Errorf("incast burst must be in (0, period], got %v", e.Burst)
+		}
+	case EnvRamp, EnvStep:
+		if e.Period != 0 || e.Burst != 0 {
+			return fmt.Errorf("%v envelope takes no period or burst", e.Kind)
+		}
+	}
+	return nil
+}
+
+// level evaluates the envelope at local phase time u within a phase of
+// duration d (both > 0 validated upstream; u may reach or exceed d when
+// evaluating the tail level).
+func (e Envelope) level(u, d sim.Duration) float64 {
+	switch e.Kind {
+	case EnvDiurnal:
+		pos := u % e.Period
+		half := e.Period / 2
+		var frac float64
+		if pos < half {
+			frac = float64(pos) / float64(half)
+		} else {
+			frac = float64(e.Period-pos) / float64(e.Period-half)
+		}
+		return e.Level + (e.Peak-e.Level)*frac
+	case EnvIncast:
+		if u%e.Period < e.Burst {
+			return e.Peak
+		}
+		return e.Level
+	case EnvRamp:
+		if u >= d {
+			return e.Peak
+		}
+		return e.Level + (e.Peak-e.Level)*(float64(u)/float64(d))
+	case EnvStep:
+		if 2*u < d {
+			return e.Level
+		}
+		return e.Peak
+	}
+	return e.Level
+}
+
+func clampLevel(l float64) float64 {
+	if l < minLevel {
+		return minLevel
+	}
+	if l > 1 {
+		return 1
+	}
+	return l
+}
+
+// span is one phase's window on the scenario timeline.
+type span struct {
+	start, end sim.Duration
+	env        Envelope
+}
+
+// Shaper is the compiled load envelope: a piecewise curve over the
+// scenario's phases implementing core.ArrivalShaper. It is stateless
+// and read-only after Compile, so one Shaper may be shared by any
+// number of concurrently running systems (the runner pool does exactly
+// that when a sweep fans a scenario across designs).
+type Shaper struct {
+	spans []span
+	tail  float64 // level held past the horizon
+}
+
+// Level evaluates the envelope at an absolute scenario time.
+func (sh *Shaper) Level(at sim.Duration) float64 {
+	for i := range sh.spans {
+		sp := &sh.spans[i]
+		if at < sp.end {
+			return clampLevel(sp.env.level(at-sp.start, sp.end-sp.start))
+		}
+	}
+	return sh.tail
+}
+
+// Gap implements core.ArrivalShaper: the nominal gap stretched by the
+// reciprocal of the current load level. Full load returns base
+// unchanged, so a flat-1.0 scenario is indistinguishable from an
+// unshaped run.
+func (sh *Shaper) Gap(base sim.Duration, now sim.Time) sim.Duration {
+	l := sh.Level(sim.Duration(now))
+	if l >= 1 {
+		return base
+	}
+	return sim.Duration(float64(base)/l + 0.5)
+}

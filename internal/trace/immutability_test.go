@@ -1,6 +1,7 @@
 package trace_test
 
 import (
+	"reflect"
 	"sync"
 	"testing"
 
@@ -58,7 +59,7 @@ func TestSharedTraceConcurrentRuns(t *testing.T) {
 	}
 	wg.Wait()
 
-	if results[0] != results[3] {
+	if !reflect.DeepEqual(results[0], results[3]) {
 		t.Errorf("identical configs diverged over a shared trace:\n%+v\n%+v", results[0], results[3])
 	}
 	if tr.Profile != profile {

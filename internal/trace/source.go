@@ -14,6 +14,11 @@ type Meta struct {
 	// Profile is the effective per-tenant calibration the stream is
 	// generated with (overrides already applied).
 	Profile workload.Profile
+	// Classes, when non-empty, partitions the population into contiguous
+	// per-class SID ranges (mixed-population sources): class i covers the
+	// Tenants[i] SIDs following the previous classes, starting at SID 1.
+	// Empty means one uniform class of Profile across all tenants.
+	Classes []TenantClass
 }
 
 // Source is a pull-based iterator over a hyper-tenant packet stream — the
@@ -61,6 +66,7 @@ func (s *TraceSource) Meta() Meta {
 		Seed:       s.tr.Seed,
 		Scale:      s.tr.Scale,
 		Profile:    s.tr.Profile,
+		Classes:    s.tr.Classes,
 	}
 }
 

@@ -100,6 +100,12 @@ type Trace struct {
 	// was generated with; the performance model builds matching address
 	// spaces from it.
 	Profile workload.Profile
+	// Classes, when non-empty, partitions the tenant population into
+	// contiguous per-class SID ranges (mixed-population traces built by
+	// ConstructMix); empty for uniform single-profile traces. Not part of
+	// the binary serialization format — mixes are regenerated from their
+	// scenario, never shipped as trace files.
+	Classes []TenantClass
 
 	Packets []workload.Packet
 	Stats   []TenantStat
